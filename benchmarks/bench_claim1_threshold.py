@@ -1,0 +1,74 @@
+"""E10 — Claim 1: the agreement threshold window
+τ ∈ [⌊(n+t0)/2⌋ + 1, n − t0] is necessary."""
+
+from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
+from repro.analysis.report import render_table
+from repro.core.replica import prft_factory
+from repro.gametheory.states import SystemState
+from repro.net.delays import FixedDelay
+from repro.net.partition import Partition, PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import run_consensus
+
+from benchmarks.helpers import once, roster
+
+
+def _abstention_run(quorum):
+    """τ too high: t0 byzantine abstainers kill liveness."""
+    n, t0 = 9, 2
+    players = roster(n, byzantine_ids=[7, 8])
+    for pid in (7, 8):
+        players[pid].strategy = AbstainStrategy()
+    config = ProtocolConfig(n=n, t0=t0, quorum=quorum, max_rounds=2, timeout=10.0)
+    return run_consensus(
+        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=200.0
+    )
+
+
+def _partition_run(quorum):
+    """τ too low: a partitioned equivocating coalition forks."""
+    n = 9
+    players = roster(n, byzantine_ids=[0, 1, 2])
+    shared = {}
+    ga, gb = {3, 4, 5}, {6, 7, 8}
+    for pid in (0, 1, 2):
+        players[pid].strategy = EquivocateStrategy(
+            group_a=ga, group_b=gb, colluders={0, 1, 2}, shared_sides=shared
+        )
+    config = ProtocolConfig(n=n, t0=2, quorum=quorum, max_rounds=1, timeout=50.0)
+    partitions = PartitionSchedule()
+    partitions.add(Partition.of(ga, gb), 0.0, 40.0)
+    return run_consensus(
+        prft_factory, players, config,
+        delay_model=FixedDelay(1.0), partitions=partitions, max_time=45.0,
+    )
+
+
+def _sweep():
+    window = ProtocolConfig(n=9, t0=2).admissible_quorum_window
+    rows = []
+    low_violation = _partition_run(window.start - 1)
+    rows.append(
+        [window.start - 1, "below window", low_violation.system_state().name]
+    )
+    inside = _partition_run(window.stop - 1)
+    rows.append([window.stop - 1, "inside window", inside.system_state().name])
+    high_violation = _abstention_run(9)  # tau = n > n - t0
+    rows.append([9, "above window", high_violation.system_state().name])
+    return window, rows
+
+
+def test_claim1_threshold_window(benchmark):
+    window, rows = once(benchmark, _sweep)
+    print()
+    print(
+        render_table(
+            ["tau", "position", "outcome"],
+            rows,
+            title=f"Claim 1 (n=9, t0=2): admissible window is [{window.start}, {window.stop - 1}]",
+        )
+    )
+    outcomes = {pos: outcome for _, pos, outcome in rows}
+    assert outcomes["below window"] == SystemState.FORK.name        # agreement dies
+    assert outcomes["inside window"] != SystemState.FORK.name
+    assert outcomes["above window"] == SystemState.NO_PROGRESS.name  # liveness dies

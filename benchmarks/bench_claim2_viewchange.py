@@ -1,0 +1,92 @@
+"""E11 — Claim 2: the view-change sub-protocol is consistent (no round
+is both finalised and view-changed among honest players) and robust
+(byzantine players alone cannot unseat an honest leader)."""
+
+from repro.agents.strategies import AbstainStrategy
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.core.replica import prft_factory
+from repro.net.delays import PartialSynchronyDelay
+from repro.protocols.base import ProtocolConfig
+from repro.net.delays import FixedDelay
+from repro.protocols.runner import run_consensus
+
+from benchmarks.helpers import once, roster
+
+
+def _consistency_runs():
+    """Crashed leader + pre-GST chaos, several timings."""
+    violations = 0
+    agreements = 0
+    runs = 5
+    for seed in range(runs):
+        players = roster(9, byzantine_ids=[0])
+        players[0].strategy = AbstainStrategy()
+        config = ProtocolConfig.for_prft(n=9, max_rounds=3, timeout=20.0)
+        result = run_consensus(
+            prft_factory, players, config,
+            delay_model=PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed),
+            max_time=500.0,
+        )
+        honest = set(result.honest_ids)
+        finalized = {
+            e.detail["round"] for e in result.trace.events("final") if e.player in honest
+        }
+        changed = {
+            e.detail["round"]
+            for e in result.trace.events("view_change_committed")
+            if e.player in honest
+        }
+        if finalized & changed:
+            violations += 1
+        if check_robustness(result).agreement:
+            agreements += 1
+    return runs, violations, agreements
+
+
+def _robustness_run():
+    """t = t0 byzantine abstainers vs honest leaders: no view change
+    may be forced in honest-leader rounds."""
+    players = roster(9, byzantine_ids=[7, 8])
+    for pid in (7, 8):
+        players[pid].strategy = AbstainStrategy()
+    config = ProtocolConfig.for_prft(n=9, max_rounds=3, timeout=30.0)
+    return run_consensus(
+        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
+    )
+
+
+def test_claim2_consistency(benchmark):
+    runs, violations, agreements = once(benchmark, _consistency_runs)
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["runs (crashed leader, pre-GST chaos)", runs],
+                ["finalise/view-change overlaps (must be 0)", violations],
+                ["runs with agreement", agreements],
+            ],
+            title="Claim 2 — consistency",
+        )
+    )
+    assert violations == 0
+    assert agreements == runs
+
+
+def test_claim2_robustness(benchmark):
+    result = once(benchmark, _robustness_run)
+    changed = result.trace.count("view_change_committed")
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["final blocks (3 honest-leader rounds)", result.final_block_count()],
+                ["view changes forced by byzantine abstention", changed],
+            ],
+            title="Claim 2 — robustness",
+        )
+    )
+    assert result.final_block_count() == 3
+    assert changed == 0

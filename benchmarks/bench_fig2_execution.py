@@ -1,0 +1,60 @@
+"""E4 — Figure 1 / Figure 2a: pRFT's normal execution schedule.
+
+Reproduces the message-sequence diagram: one Propose from the leader,
+then all-to-all Vote, Commit, Reveal, Final — and measures per-round
+latency in network hops.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.replica import prft_factory
+from repro.gametheory.states import SystemState
+from repro.protocols.base import ProtocolConfig
+
+from benchmarks.helpers import honest_run, once
+
+
+def _run_n(n: int):
+    config = ProtocolConfig.for_prft(n=n, max_rounds=2)
+    result = honest_run(prft_factory, config)
+    by_type = result.metrics.by_type()
+    finals = result.trace.events("final")
+    latency = max(e.time for e in finals) / config.max_rounds
+    return result, by_type, latency
+
+
+def test_fig2a_normal_execution(benchmark):
+    result, by_type, latency = once(benchmark, lambda: _run_n(8))
+    n, rounds = 8, 2
+    rows = [
+        ["propose", by_type["propose"][0], "n per round (leader to all)"],
+        ["vote", by_type["vote"][0], "n^2 per round (all-to-all)"],
+        ["commit", by_type["commit"][0], "n^2, carries vote quorum V_i"],
+        ["reveal", by_type["reveal"][0], "n^2, carries commit quorum W_i"],
+        ["final", by_type["final"][0], "n^2, client-visible decision"],
+    ]
+    print()
+    print(
+        render_table(
+            ["phase", "messages (n=8, 2 rounds)", "paper schedule"],
+            rows,
+            title="Figure 2a: pRFT normal execution message schedule",
+        )
+    )
+    print(f"per-round decision latency: {latency:.1f} network hops")
+    assert result.system_state() is SystemState.HONEST
+    assert by_type["propose"][0] == n * rounds
+    for phase in ("vote", "commit", "reveal", "final"):
+        assert by_type[phase][0] == n * n * rounds
+    assert "view-change" not in by_type and "expose" not in by_type
+
+
+def test_fig2a_phase_order(benchmark):
+    result, _, _ = once(benchmark, lambda: _run_n(5))
+    sends = [e for e in result.trace.events("send") if e.detail["round"] == 0]
+    first = {}
+    for event in sends:
+        first.setdefault(event.detail["message_type"], event.time)
+    assert (
+        first["propose"] <= first["vote"] <= first["commit"]
+        <= first["reveal"] <= first["final"]
+    )

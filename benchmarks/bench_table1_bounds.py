@@ -1,0 +1,106 @@
+"""E1 — Table 1: consensus bounds per threat model (partially-synchronous row).
+
+Regenerates the paper's bound table empirically: for each threat model
+we run the matching protocol just inside and just outside its bound and
+report whether consensus (agreement + progress) survives.
+
+Expected shape (Table 1, partial synchrony):
+- CFT: 2c < n         — crash faults below half are tolerated;
+- BFT: 3t < n         — pBFT tolerates t < n/3;
+- RFT: t < n/4, t+k < n/2 — pRFT tolerates the paper's blue cell, and
+  forks become constructible once t0 crosses n/4.
+"""
+
+from repro.agents.strategies import AbstainStrategy
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.core.replica import prft_factory
+from repro.gametheory.states import SystemState
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.pbft import pbft_factory
+from repro.protocols.runner import run_consensus
+from repro.net.delays import FixedDelay
+
+from benchmarks.helpers import attack_run, once, roster
+
+
+def _crash_run(n: int, crashed: int) -> bool:
+    """CFT row: ``crashed`` players crash; did consensus survive?
+
+    A CFT deployment (Paxos-style) runs on simple-majority quorums —
+    crash faults cannot equivocate, so τ = ⌈(n+1)/2⌉ is safe and
+    tolerates any minority of crashes (2c < n).
+    """
+    players = roster(n, byzantine_ids=list(range(n - crashed, n)))
+    for pid in range(n - crashed, n):
+        players[pid].strategy = AbstainStrategy()
+    majority = n // 2 + 1
+    config = ProtocolConfig(
+        n=n, t0=n - majority, quorum=majority, max_rounds=2, timeout=10.0
+    )
+    result = run_consensus(
+        pbft_factory, players, config, delay_model=FixedDelay(1.0), max_time=300.0
+    )
+    report = check_robustness(result)
+    return report.agreement and result.final_block_count() >= 1
+
+
+def _bft_run(n: int, t: int) -> bool:
+    """BFT row: t equivocating byzantine players against pBFT."""
+    config = ProtocolConfig.for_bft(n=n, max_rounds=2, timeout=20.0)
+    result = attack_run(
+        pbft_factory,
+        n,
+        rational_ids=[],
+        byzantine_ids=list(range(t)),
+        attack="fork",
+        config=config,
+        partition_window=30.0,
+        max_time=300.0,
+    )
+    return check_robustness(result).agreement
+
+
+def _rft_run(n: int, t: int, k: int, t0: int) -> bool:
+    """RFT row: fork collusion of k rational + t byzantine vs pRFT."""
+    config = ProtocolConfig(n=n, t0=t0, max_rounds=1, timeout=50.0)
+    result = attack_run(
+        prft_factory,
+        n,
+        rational_ids=list(range(t, t + k)),
+        byzantine_ids=list(range(t)),
+        attack="fork",
+        config=config,
+        partition_window=40.0,
+        max_time=60.0,
+    )
+    return result.system_state() is not SystemState.FORK
+
+
+def _table1_rows():
+    n = 9
+    rows = []
+    rows.append(["CFT", "2c < n", f"c=4 (n={n})", _crash_run(n, 4)])
+    rows.append(["CFT", "2c < n violated", f"c=5 (n={n})", _crash_run(n, 5)])
+    rows.append(["BFT", "3t < n", f"t=2 (n={n})", _bft_run(n, 2)])
+    rows.append(["RFT", "t<n/4, t+k<n/2", f"t=1,k=2,t0=2 (n={n})", _rft_run(n, 1, 2, 2)])
+    rows.append(["RFT", "t0 >= n/4 violated", f"t=1,k=2,t0=3 (n={n})", _rft_run(n, 1, 2, 3)])
+    return rows
+
+
+def test_table1_bounds(benchmark):
+    rows = once(benchmark, _table1_rows)
+    print()
+    print(
+        render_table(
+            ["threat model", "bound", "instance", "consensus holds"],
+            rows,
+            title="Table 1 (partial synchrony): bounds, inside vs outside",
+        )
+    )
+    verdicts = {(row[0], row[1]): row[3] for row in rows}
+    assert verdicts[("CFT", "2c < n")] is True
+    assert verdicts[("CFT", "2c < n violated")] is False
+    assert verdicts[("BFT", "3t < n")] is True
+    assert verdicts[("RFT", "t<n/4, t+k<n/2")] is True
+    assert verdicts[("RFT", "t0 >= n/4 violated")] is False

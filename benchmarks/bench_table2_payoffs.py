@@ -1,0 +1,85 @@
+"""E2 — Table 2: the payoff function f(σ, θ), realised from simulation.
+
+For each system state σ we *drive the simulator into that state* with
+the matching scripted attack, classify the resulting honest ledgers,
+and read each player type's realised payoff.  The printed matrix must
+equal the paper's Table 2 (with α = 1).
+"""
+
+from repro.analysis.report import render_table
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType, payoff
+from repro.gametheory.states import SystemState
+from repro.protocols.base import ProtocolConfig
+from repro.net.delays import FixedDelay
+from repro.protocols.runner import run_consensus
+
+from benchmarks.helpers import attack_run, once, roster
+
+THETAS = [
+    PlayerType.LIVENESS_ATTACKING,
+    PlayerType.CENSORSHIP_SEEKING,
+    PlayerType.FORK_SEEKING,
+    PlayerType.ALIGNED,
+]
+
+
+def _realised_states():
+    """Drive the system into each σ and classify it."""
+    n = 9
+    outcomes = {}
+
+    config = ProtocolConfig.for_prft(n=n, max_rounds=3, timeout=10.0)
+    liveness = attack_run(
+        prft_factory, n, [0, 1, 2], [3], "liveness", config, max_time=300.0
+    )
+    outcomes["sigma_NP"] = liveness.system_state()
+
+    config = ProtocolConfig.for_prft(n=n, max_rounds=9, timeout=10.0)
+    censor = attack_run(
+        prft_factory, n, [0, 1, 2], [3], "censorship", config,
+        censored=["tx-0"], max_time=600.0,
+    )
+    outcomes["sigma_CP"] = censor.system_state(censored_tx_ids=["tx-0"])
+
+    config = ProtocolConfig(n=n, t0=3, max_rounds=1, timeout=50.0)  # violated t0
+    fork = attack_run(
+        prft_factory, n, [0, 1], [2], "fork", config,
+        partition_window=40.0, max_time=60.0,
+    )
+    outcomes["sigma_Fork"] = fork.system_state()
+
+    config = ProtocolConfig.for_prft(n=n, max_rounds=2)
+    honest = run_consensus(
+        prft_factory, roster(n), config, delay_model=FixedDelay(1.0)
+    )
+    outcomes["sigma_0"] = honest.system_state()
+    return outcomes
+
+
+def test_table2_payoff_matrix(benchmark):
+    outcomes = once(benchmark, _realised_states)
+    assert outcomes["sigma_NP"] is SystemState.NO_PROGRESS
+    assert outcomes["sigma_CP"] is SystemState.CENSORSHIP
+    assert outcomes["sigma_Fork"] is SystemState.FORK
+    assert outcomes["sigma_0"] is SystemState.HONEST
+
+    order = ["sigma_NP", "sigma_CP", "sigma_Fork", "sigma_0"]
+    rows = []
+    for theta in THETAS:
+        row = [f"theta={int(theta)}"]
+        row.extend(payoff(outcomes[name], theta, alpha=1.0) for name in order)
+        rows.append(row)
+    print()
+    print(
+        render_table(
+            ["player type", "sigma_NP", "sigma_CP", "sigma_Fork", "sigma_0"],
+            rows,
+            title="Table 2: payoff f(sigma, theta) at alpha=1, realised states",
+        )
+    )
+    # the paper's matrix, row by row
+    assert rows[0][1:] == [1, 1, 1, 0]
+    assert rows[1][1:] == [-1, 1, 1, 0]
+    assert rows[2][1:] == [-1, -1, 1, 0]
+    assert rows[3][1:] == [-1, -1, -1, 0]

@@ -1,0 +1,27 @@
+"""E3 — Table 3 (Section 4.3): the 3-player example game with two Nash
+equilibria and a focal point."""
+
+from repro.analysis.report import render_table
+from repro.gametheory.normal_form import example_focal_game
+
+from benchmarks.helpers import once
+
+
+def test_table3_example_game(benchmark):
+    game = example_focal_game()
+    equilibria = once(benchmark, game.pure_nash_equilibria)
+    rows = [
+        [" / ".join(profile), *game.payoffs(profile), game.focal_equilibrium() == profile]
+        for profile in equilibria
+    ]
+    print()
+    print(
+        render_table(
+            ["equilibrium", "U_P1", "U_P2", "U_P3", "focal"],
+            rows,
+            title="Table 3 game (Section 4.3): Nash equilibria and the focal point",
+        )
+    )
+    assert set(equilibria) == {("A", "a", "alpha"), ("B", "b", "beta")}
+    assert game.focal_equilibrium() == ("A", "a", "alpha")
+    assert game.dominant_strategy_equilibrium() == []

@@ -1,0 +1,49 @@
+"""E7 — Theorem 2: θ=2 rational players defeat *strong* robustness via
+π_pc — abstain under honest leaders, censor when leading — while
+liveness survives and no penalty is possible."""
+
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.gametheory.states import SystemState
+from repro.protocols.base import ProtocolConfig
+
+from benchmarks.helpers import attack_run, once
+
+CENSORED = ["tx-0"]
+
+
+def _experiment():
+    n = 9
+    config = ProtocolConfig.for_prft(n=n, max_rounds=9, timeout=10.0)
+    return attack_run(
+        prft_factory, n, rational_ids=[0, 1, 2], byzantine_ids=[3],
+        attack="censorship", config=config,
+        theta=PlayerType.CENSORSHIP_SEEKING, censored=CENSORED, max_time=600.0,
+    )
+
+
+def test_theorem2_censorship_attack(benchmark):
+    result = once(benchmark, _experiment)
+    report = check_robustness(result, censored_tx_ids=CENSORED)
+    state = result.system_state(censored_tx_ids=CENSORED)
+    u_attack = result.realised_utility(
+        0, PlayerType.CENSORSHIP_SEEKING, censored_tx_ids=CENSORED
+    )
+    rows = [
+        ["system state", state.name],
+        ["final blocks (liveness survives)", result.final_block_count()],
+        ["censored tx confirmed", report.censorship_resistance],
+        ["strongly (t,k)-robust", report.strongly_robust],
+        ["penalised players (pi_pc is unaccountable)", sorted(result.penalised_players())],
+        ["U(pi_pc, theta=2) per run", u_attack],
+    ]
+    print()
+    print(render_table(["quantity", "value"], rows, title="Theorem 2: theta=2 censorship attack"))
+    assert state is SystemState.CENSORSHIP
+    assert result.final_block_count() >= 1           # liveness intact
+    assert report.censorship_resistance is False     # tx-0 never confirms
+    assert report.strongly_robust is False
+    assert result.penalised_players() == set()
+    assert u_attack > 0

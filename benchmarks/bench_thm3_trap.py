@@ -1,0 +1,116 @@
+"""E8 — Theorem 3: baiting-based consensus (TRAP) has a second,
+fork-producing Nash equilibrium that is focal.
+
+Two parts:
+1. the *game*: in the theorem's regime, all-fork is a stage-game NE
+   for any reward R, and Pareto-dominates baiting in the repeated game;
+2. the *protocol*: running the TRAP replica with an all-suppressing
+   collusion under partition yields a successful, unpunished fork.
+"""
+
+from repro.agents.player import byzantine_player, honest_player, rational_player
+from repro.agents.strategies import BaitingPolicy, EquivocateStrategy, TrapRationalStrategy
+from repro.analysis.report import render_table
+from repro.gametheory.payoff import PlayerType
+from repro.gametheory.states import SystemState
+from repro.gametheory.trap_game import (
+    FORK,
+    TrapGameParameters,
+    build_baiting_game,
+    insecure_equilibrium_is_focal,
+    repeated_game_utilities,
+    theorem3_condition_holds,
+)
+from repro.net.delays import FixedDelay
+from repro.net.partition import Partition, PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import run_consensus
+from repro.protocols.trap import trap_factory
+
+from benchmarks.helpers import once
+
+
+def _game_analysis():
+    params = TrapGameParameters.theorem3_setting(n=30, t=7, k=7, reward=1_000.0)
+    game = build_baiting_game(params)
+    utilities = repeated_game_utilities(params, delta=0.9)
+    return params, game.is_nash((FORK,) * params.k), utilities
+
+
+def _protocol_fork(policy: BaitingPolicy):
+    n = 10
+    rational_ids, byz_ids = [1, 2, 4], [0]
+    honest = [i for i in range(n) if i not in rational_ids and i not in byz_ids]
+    ga, gb = set(honest[:3]), set(honest[3:])
+    coll = set(rational_ids) | set(byz_ids)
+    shared = {}
+    players = []
+    for i in range(n):
+        if i in rational_ids:
+            players.append(
+                rational_player(
+                    i,
+                    PlayerType.FORK_SEEKING,
+                    TrapRationalStrategy(
+                        policy, group_a=ga, group_b=gb, colluders=coll, shared_sides=shared
+                    ),
+                )
+            )
+        elif i in byz_ids:
+            players.append(
+                byzantine_player(
+                    i,
+                    EquivocateStrategy(
+                        group_a=ga, group_b=gb, colluders=coll, shared_sides=shared
+                    ),
+                )
+            )
+        else:
+            players.append(honest_player(i))
+    partitions = PartitionSchedule()
+    partitions.add(Partition.of(ga, gb), 0.0, 50.0)
+    config = ProtocolConfig.for_bft(n=n, max_rounds=1, timeout=60.0)
+    return run_consensus(
+        trap_factory, players, config,
+        delay_model=FixedDelay(1.0), partitions=partitions, max_time=80.0,
+    )
+
+
+def test_theorem3_game_has_insecure_focal_equilibrium(benchmark):
+    params, all_fork_nash, utilities = once(benchmark, _game_analysis)
+    rows = [
+        ["theorem-3 regime (k >= n - 2t0 - t + 2)", theorem3_condition_holds(params)],
+        ["min baiters to stop fork", params.min_baiters_to_prevent_fork],
+        ["all-fork is stage-game NE (R = 1000!)", all_fork_nash],
+        ["U(all-fork, repeated, delta=.9)", utilities["all_fork"]],
+        ["U(bait once)", utilities["bait_once"]],
+        ["insecure equilibrium is focal", insecure_equilibrium_is_focal(params, 0.9)],
+    ]
+    print()
+    print(render_table(["quantity", "value"], rows, title="Theorem 3: the baiting game"))
+    assert theorem3_condition_holds(params)
+    assert all_fork_nash
+    assert utilities["all_fork"] > utilities["bait_once"]
+    assert insecure_equilibrium_is_focal(params, 0.9)
+
+
+def test_theorem3_trap_protocol_forks_when_all_suppress(benchmark):
+    result = once(benchmark, lambda: _protocol_fork(BaitingPolicy.SUPPRESS))
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["system state", result.system_state().name],
+                ["penalised players", sorted(result.penalised_players())],
+            ],
+            title="Theorem 3: TRAP under the all-suppress equilibrium",
+        )
+    )
+    assert result.system_state() is SystemState.FORK
+    assert result.penalised_players() == set()
+
+
+def test_theorem3_baiting_equilibrium_would_prevent_fork(benchmark):
+    result = once(benchmark, lambda: _protocol_fork(BaitingPolicy.BAIT))
+    assert result.system_state() is not SystemState.FORK

@@ -1,0 +1,93 @@
+"""E9 — Lemma 4 + Theorem 5: pRFT is DSIC for θ=1 and (t,k)-robust.
+
+Sweeps every deviation strategy for a rational player under pRFT and
+reports the realised utility against π0; then runs the full fork
+collusion at the paper's bounds and checks Definition 1.
+"""
+
+from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
+from repro.analysis.accountability import check_accountability
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.protocols.base import ProtocolConfig
+from repro.net.delays import FixedDelay
+from repro.protocols.runner import run_consensus
+
+from benchmarks.helpers import attack_run, once, roster
+
+
+def _deviation_sweep():
+    """U(π) for a lone rational player 5, per strategy (n=9)."""
+    n = 9
+    utilities = {}
+    burned = {}
+    for name, strategy in [
+        ("pi_0", None),
+        ("pi_abs", AbstainStrategy()),
+        ("pi_ds", EquivocateStrategy(colluders={5})),
+    ]:
+        players = roster(n, rational_ids=[5])
+        if strategy is not None:
+            players[5].strategy = strategy
+        config = ProtocolConfig.for_prft(n=n, max_rounds=3, timeout=15.0)
+        result = run_consensus(
+            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
+        )
+        utilities[name] = result.realised_utility(5, PlayerType.FORK_SEEKING)
+        burned[name] = 5 in result.penalised_players()
+    return utilities, burned
+
+
+def _collusion_run():
+    n = 13  # t0 = 3, k + t = 6 < 6.5, t = 2 <= t0
+    config = ProtocolConfig.for_prft(n=n, max_rounds=4, timeout=15.0)
+    return attack_run(
+        prft_factory, n, rational_ids=[0, 1, 2, 3], byzantine_ids=[4, 5],
+        attack="fork", config=config, max_time=800.0,
+    )
+
+
+def test_lemma4_honest_is_dominant(benchmark):
+    utilities, burned = once(benchmark, _deviation_sweep)
+    rows = [[name, utilities[name], burned[name]] for name in utilities]
+    print()
+    print(
+        render_table(
+            ["strategy", "U(pi, theta=1)", "collateral burned"],
+            rows,
+            title="Lemma 4: deviation sweep for a lone rational player (n=9)",
+        )
+    )
+    assert utilities["pi_0"] == 0.0
+    assert utilities["pi_ds"] < utilities["pi_0"]    # captured and burned
+    assert utilities["pi_abs"] <= utilities["pi_0"]  # never positive for theta=1
+    assert burned["pi_ds"] and not burned["pi_0"] and not burned["pi_abs"]
+
+
+def test_theorem5_full_collusion_robustness(benchmark):
+    result = once(benchmark, _collusion_run)
+    report = check_robustness(result)
+    accountability = check_accountability(result)
+    rows = [
+        ["agreement", report.agreement],
+        ["strict ordering", report.strict_ordering],
+        ["fork heights", report.fork_heights],
+        ["colluders burned", sorted(result.penalised_players())],
+        ["accountability sound", accountability.sound],
+        ["U(pi_fork) colluder 0", result.realised_utility(0, PlayerType.FORK_SEEKING)],
+    ]
+    print()
+    print(
+        render_table(
+            ["clause", "verdict"],
+            rows,
+            title="Theorem 5: pRFT under full fork collusion (n=13, t=2, k=4)",
+        )
+    )
+    assert report.agreement
+    assert report.fork_heights == []
+    assert result.penalised_players() == {0, 1, 2, 3, 4, 5}
+    assert accountability.sound
+    assert result.realised_utility(0, PlayerType.FORK_SEEKING) <= 0

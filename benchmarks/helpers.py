@@ -1,0 +1,83 @@
+"""Shared scenario builders for the benchmark harnesses.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index) and prints a paper-shaped table;
+run with ``pytest benchmarks/ --benchmark-only -s`` to see the output.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import (
+    Player,
+    byzantine_player,
+    honest_player,
+    rational_player,
+)
+from repro.agents.strategies import AbstainStrategy, EquivocateStrategy, HonestStrategy
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.net.delays import DelayModel, FixedDelay
+from repro.net.partition import Partition, PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import RunResult, run_consensus
+
+
+def roster(
+    n: int,
+    rational_ids: Sequence[int] = (),
+    byzantine_ids: Sequence[int] = (),
+    theta: PlayerType = PlayerType.FORK_SEEKING,
+) -> List[Player]:
+    players: List[Player] = []
+    for i in range(n):
+        if i in rational_ids:
+            players.append(rational_player(i, theta))
+        elif i in byzantine_ids:
+            players.append(byzantine_player(i, HonestStrategy()))
+        else:
+            players.append(honest_player(i))
+    return players
+
+
+def attack_run(
+    factory,
+    n: int,
+    rational_ids: Sequence[int],
+    byzantine_ids: Sequence[int],
+    attack: str,
+    config: ProtocolConfig,
+    theta: PlayerType = PlayerType.FORK_SEEKING,
+    censored: Sequence[str] = (),
+    partition_window: Optional[float] = None,
+    max_time: float = 10_000.0,
+) -> RunResult:
+    """Run ``factory`` under a collusion executing ``attack``."""
+    players = roster(n, rational_ids, byzantine_ids, theta=theta)
+    collusion = Collusion.of(players)
+    assign_strategies(players, collusion, attack, censored_tx_ids=censored or None)
+    partitions = None
+    if partition_window is not None:
+        partitions = PartitionSchedule()
+        partitions.add(
+            Partition.of(collusion.split_a, collusion.split_b), 0.0, partition_window
+        )
+    return run_consensus(
+        factory,
+        players,
+        config,
+        delay_model=FixedDelay(1.0),
+        partitions=partitions,
+        max_time=max_time,
+    )
+
+
+def honest_run(factory, config: ProtocolConfig, delay: Optional[DelayModel] = None) -> RunResult:
+    return run_consensus(
+        factory, roster(config.n), config, delay_model=delay or FixedDelay(1.0)
+    )
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

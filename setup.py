@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` with legacy (non-PEP-517) builds uses
+``setup.py develop``, which works offline; all real metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Players and strategies.
+
+The paper's game is played by three kinds of players (Section 4.1.1):
+honest (always follow Π), byzantine (arbitrary disruption, immune to
+incentives) and rational (play the utility-maximising strategy, typed
+by θ).  Concretely a player is a :class:`~repro.agents.player.Player`
+descriptor — role, type θ, and a :class:`~repro.agents.strategies.Strategy`
+that intercepts the replica's protocol actions.
+
+The strategy space matches Section 4.1.2:
+
+- π_0   — :class:`~repro.agents.strategies.HonestStrategy`;
+- π_abs — :class:`~repro.agents.strategies.AbstainStrategy` (send
+  nothing; indistinguishable from a crash);
+- π_ds / π_fork — :class:`~repro.agents.strategies.EquivocateStrategy`
+  (sign two conflicting messages in the same phase of the same round,
+  delivering each version to a different half of the network);
+- π_pc  — :class:`~repro.agents.strategies.CensorshipStrategy`
+  (Theorem 2's partial-censorship strategy: abstain under honest
+  leaders, propose censored blocks when leading);
+- π_bait / suppression — baiting behaviour for TRAP-style protocols.
+
+Strategies act only through the replica's message-construction hooks;
+they cannot forge other players' signatures or tamper with channels.
+"""
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import Player, Role
+from repro.agents.strategies import (
+    AbstainStrategy,
+    BaitingPolicy,
+    CensorshipStrategy,
+    EquivocateStrategy,
+    HonestStrategy,
+    NoisyEquivocateStrategy,
+    Strategy,
+    TrapRationalStrategy,
+)
+
+__all__ = [
+    "AbstainStrategy",
+    "BaitingPolicy",
+    "CensorshipStrategy",
+    "Collusion",
+    "EquivocateStrategy",
+    "HonestStrategy",
+    "NoisyEquivocateStrategy",
+    "Player",
+    "Role",
+    "Strategy",
+    "TrapRationalStrategy",
+    "assign_strategies",
+]

@@ -1,0 +1,119 @@
+"""Collusion sets and attack assignment.
+
+Section 4.1.1 allows rational and byzantine players to collude:
+a collusion set ⊆ K ∪ T of size ≤ k + t executing a joint attack.
+:class:`Collusion` captures the membership; :func:`assign_strategies`
+rewires the members' strategies to execute a named attack, returning
+the players unchanged otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.agents.player import Player, Role
+from repro.agents.strategies import (
+    AbstainStrategy,
+    CensorshipStrategy,
+    EquivocateStrategy,
+    Strategy,
+)
+
+
+@dataclass
+class Collusion:
+    """A coordinated subset of K ∪ T.
+
+    ``split_a``/``split_b`` are the target halves for equivocation
+    attacks: the collusion tries to convince group A of one block and
+    group B of a conflicting one.
+    """
+
+    members: Set[int] = field(default_factory=set)
+    split_a: Set[int] = field(default_factory=set)
+    split_b: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        overlap = self.split_a & self.split_b
+        if overlap:
+            raise ValueError(f"split groups overlap on {sorted(overlap)}")
+
+    @classmethod
+    def of(cls, players: Sequence[Player], victims: Optional[Sequence[int]] = None) -> "Collusion":
+        """Build the maximal collusion K ∪ T from a player roster.
+
+        ``victims`` (default: all honest ids, sorted) are split in half
+        for equivocation targeting.
+        """
+        members = {p.player_id for p in players if p.role is not Role.HONEST}
+        if victims is None:
+            victims = sorted(p.player_id for p in players if p.role is Role.HONEST)
+        else:
+            victims = list(victims)
+        middle = len(victims) // 2
+        return cls(
+            members=members,
+            split_a=set(victims[:middle]),
+            split_b=set(victims[middle:]),
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, player_id: int) -> bool:
+        return player_id in self.members
+
+
+def assign_strategies(
+    players: Iterable[Player],
+    collusion: Collusion,
+    attack: str,
+    censored_tx_ids: Optional[Iterable[str]] = None,
+) -> List[Player]:
+    """Give every collusion member the strategy for ``attack``.
+
+    Supported attacks:
+
+    - ``"liveness"``   — π_abs for all members (Theorem 1's attack);
+    - ``"censorship"`` — π_pc with the given censored ids (Theorem 2);
+    - ``"fork"``       — π_ds equivocation split across the collusion's
+      victim groups (the disagreement attack of Theorem 3 / Lemma 4).
+
+    Returns the same player objects (mutated in place) for chaining.
+    """
+    strategy_for: Dict[int, Strategy] = {}
+    shared_sides: Dict[object, int] = {}
+    for player in players:
+        if player.player_id not in collusion:
+            continue
+        if attack == "liveness":
+            strategy_for[player.player_id] = AbstainStrategy()
+        elif attack == "censorship":
+            if censored_tx_ids is None:
+                raise ValueError("censorship attack needs censored_tx_ids")
+            strategy_for[player.player_id] = CensorshipStrategy(
+                coalition=collusion.members,
+                censored_tx_ids=censored_tx_ids,
+            )
+        elif attack == "fork":
+            strategy_for[player.player_id] = EquivocateStrategy(
+                group_a=collusion.split_a,
+                group_b=collusion.split_b,
+                colluders=collusion.members,
+                shared_sides=shared_sides,
+            )
+        else:
+            raise ValueError(f"unknown attack {attack!r}")
+
+    result = []
+    for player in players:
+        if player.player_id in strategy_for:
+            if player.role is Role.HONEST:
+                raise ValueError(
+                    f"player {player.player_id} is honest and cannot join a collusion"
+                )
+            player.strategy = strategy_for[player.player_id]
+        result.append(player)
+    return result

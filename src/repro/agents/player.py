@@ -1,0 +1,81 @@
+"""Player descriptors: identity, role, rational type, strategy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.strategies import HonestStrategy, Strategy
+from repro.gametheory.payoff import PlayerType
+
+
+class Role(enum.Enum):
+    """Which of the paper's three populations a player belongs to."""
+
+    HONEST = "honest"
+    BYZANTINE = "byzantine"
+    RATIONAL = "rational"
+
+
+@dataclass
+class Player:
+    """One consensus participant.
+
+    ``theta`` is meaningful only for rational players (byzantine
+    players behave as the most adversarial type by definition, honest
+    players as θ=0).  ``strategy`` is the π this player executes; for
+    honest players it is always π_0.
+    """
+
+    player_id: int
+    role: Role
+    theta: PlayerType = PlayerType.ALIGNED
+    strategy: Strategy = field(default_factory=HonestStrategy)
+
+    def __post_init__(self) -> None:
+        if self.role is Role.HONEST and not isinstance(self.strategy, HonestStrategy):
+            raise ValueError("honest players must run the honest strategy")
+        if self.role is Role.HONEST and self.theta is not PlayerType.ALIGNED:
+            raise ValueError("honest players are type θ=0 by definition")
+
+    @property
+    def is_honest(self) -> bool:
+        return self.role is Role.HONEST
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.role is Role.BYZANTINE
+
+    @property
+    def is_rational(self) -> bool:
+        return self.role is Role.RATIONAL
+
+
+def honest_player(player_id: int) -> Player:
+    """Convenience constructor for an honest player."""
+    return Player(player_id=player_id, role=Role.HONEST)
+
+
+def rational_player(
+    player_id: int,
+    theta: PlayerType,
+    strategy: Optional[Strategy] = None,
+) -> Player:
+    """Convenience constructor for a rational player of type θ."""
+    return Player(
+        player_id=player_id,
+        role=Role.RATIONAL,
+        theta=theta,
+        strategy=strategy or HonestStrategy(),
+    )
+
+
+def byzantine_player(player_id: int, strategy: Strategy) -> Player:
+    """Convenience constructor for a byzantine player running ``strategy``."""
+    return Player(
+        player_id=player_id,
+        role=Role.BYZANTINE,
+        theta=PlayerType.LIVENESS_ATTACKING,
+        strategy=strategy,
+    )

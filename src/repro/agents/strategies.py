@@ -1,0 +1,339 @@
+"""The strategy space π of Section 4.1.2, as replica-action interceptors.
+
+A strategy never gets raw network access: it can only shape what the
+*owning* replica does at well-defined decision points —
+
+- ``participates(phase)``: send anything at all this phase? (π_abs)
+- ``select_transactions``: which transactions to propose (π_pc);
+- ``plan_broadcast``: which version of a signed message each recipient
+  receives — honest players send one version to all; an equivocator
+  signs a second, conflicting version (π_ds) and splits the audience;
+- ``report_fraud``: whether to publish a constructed Proof-of-Fraud
+  (TRAP's π_bait vs. the collusion's suppression).
+
+This confinement mirrors the paper's model: deviating players can
+abstain, double-sign and censor, but cannot forge signatures or corrupt
+channels.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+MessageFactory = Callable[[], Any]
+
+
+class Strategy:
+    """π_0 — the honest strategy, and the base interface.
+
+    All methods implement exact protocol compliance; deviating
+    strategies override a subset.
+    """
+
+    name = "pi_0"
+
+    def participates(self, replica: Any, phase: str) -> bool:
+        """Send messages in ``phase``?  False models π_abs for the phase."""
+        return True
+
+    def select_transactions(self, replica: Any, candidates: Sequence[Any]) -> List[Any]:
+        """Which of ``candidates`` the player proposes when leading."""
+        return list(candidates)
+
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Optional[MessageFactory],
+        recipients: Iterable[int],
+    ) -> Dict[int, Optional[Any]]:
+        """Message (or None) per recipient for one logical broadcast.
+
+        ``primary`` is the protocol-prescribed message.
+        ``alternative_factory`` lazily builds a *conflicting* validly
+        signed message for the same phase/round, or is None where no
+        conflict is constructible (e.g. Final relays).
+        """
+        return {recipient: primary for recipient in recipients}
+
+    def report_fraud(self, replica: Any, guilty: Set[int]) -> bool:
+        """Publish a constructed Proof-of-Fraud?  Honest players always do."""
+        return True
+
+    def double_votes(self) -> bool:
+        """Sign protocol statements for *every* competing value?
+
+        Honest players sign at most one value per phase per round;
+        equivocators return True and thereby produce the conflicting
+        signatures that Proof-of-Fraud captures.
+        """
+        return False
+
+    def filter_evidence(self, replica: Any, statements: Iterable[Any]) -> List[Any]:
+        """Which held statements to attach as view-change evidence.
+
+        Honest players forward everything they hold; colluders censor
+        statements that would incriminate the collusion.
+        """
+        return list(statements)
+
+
+class HonestStrategy(Strategy):
+    """Alias of the base: explicit π_0."""
+
+
+class AbstainStrategy(Strategy):
+    """π_abs — send nothing, ever.
+
+    Indistinguishable from a crash fault under partial synchrony
+    (Theorem 1's central observation), hence never penalised by an
+    accountable protocol: D(π_abs, σ) = 0.
+    """
+
+    name = "pi_abs"
+
+    def participates(self, replica: Any, phase: str) -> bool:
+        return False
+
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Optional[MessageFactory],
+        recipients: Iterable[int],
+    ) -> Dict[int, Optional[Any]]:
+        return {recipient: None for recipient in recipients}
+
+
+class EquivocateStrategy(Strategy):
+    """π_ds / π_fork — sign two conflicting messages in the same phase.
+
+    The classic fork attempt convinces victim group A of one value and
+    victim group B of a conflicting one, while the colluders themselves
+    see both.  Deciding *which* value goes to which group must be
+    consistent across the whole collusion — the paper allows arbitrary
+    collusion, i.e. out-of-band coordination — so all members share a
+    ``shared_sides`` blackboard mapping (round, digest) → side.  The
+    first value observed for a round becomes side 0 (delivered to
+    group A), the second side 1 (delivered to group B); colluders
+    receive every version so they can double-sign all of them.
+
+    Messages without a value digest (view changes, exposures) follow
+    the protocol and go to everyone: a θ=1 rational player does not
+    profit from a liveness attack (Table 2), so it keeps the system
+    moving and only deviates on value signatures.
+    """
+
+    name = "pi_ds"
+
+    def __init__(
+        self,
+        group_a: Optional[Iterable[int]] = None,
+        group_b: Optional[Iterable[int]] = None,
+        colluders: Optional[Iterable[int]] = None,
+        shared_sides: Optional[Dict[Any, int]] = None,
+    ) -> None:
+        self.group_a: Optional[Set[int]] = set(group_a) if group_a is not None else None
+        self.group_b: Optional[Set[int]] = set(group_b) if group_b is not None else None
+        self.colluders: Set[int] = set(colluders or ())
+        self.shared_sides: Dict[Any, int] = shared_sides if shared_sides is not None else {}
+        if self.group_a is not None and self.group_b is not None:
+            overlap = self.group_a & self.group_b
+            if overlap:
+                raise ValueError(f"groups overlap on {sorted(overlap)}")
+
+    def double_votes(self) -> bool:
+        return True
+
+    def _side_of(self, round_number: Any, digest: str) -> int:
+        key = (round_number, digest)
+        if key not in self.shared_sides:
+            existing = sum(
+                1 for (other_round, _) in self.shared_sides if other_round == round_number
+            )
+            self.shared_sides[key] = existing % 2
+        return self.shared_sides[key]
+
+    def _targets(self, side: int, recipients: Sequence[int]) -> Set[int]:
+        if self.group_a is None or self.group_b is None:
+            group = {r for r in recipients if r % 2 == side}
+        else:
+            group = self.group_a if side == 0 else self.group_b
+        return set(group) | self.colluders
+
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Optional[MessageFactory],
+        recipients: Iterable[int],
+    ) -> Dict[int, Optional[Any]]:
+        recipient_list = list(recipients)
+        digest = getattr(primary, "digest", None)
+        if digest is None:
+            return {recipient: primary for recipient in recipient_list}
+        round_number = getattr(primary, "round_number", None)
+        plan: Dict[int, Optional[Any]] = {recipient: [] for recipient in recipient_list}
+
+        def route(message: Any) -> None:
+            side = self._side_of(round_number, message.digest)
+            targets = self._targets(side, recipient_list)
+            for recipient in recipient_list:
+                if recipient in targets:
+                    plan[recipient].append(message)
+
+        route(primary)
+        if alternative_factory is not None and self._wants_alternative(replica, primary):
+            alternative = alternative_factory()
+            if alternative is not None:
+                route(alternative)
+        return plan
+
+    def _wants_alternative(self, replica: Any, primary: Any) -> bool:
+        """Fabricate a conflicting message only when no colluding
+        leader will supply the real conflict.
+
+        When the round's leader is inside the collusion, its
+        equivocating *proposal* already gives every colluder a second
+        value to double-sign; fabricating extra digests in the vote
+        phase would leak co-located conflicting signatures to the
+        victims prematurely.  Proposals (messages carrying a block)
+        are always equivocated — that is the attack's seed.
+        """
+        if hasattr(primary, "block"):
+            return True
+        leader = None
+        current_leader = getattr(replica, "current_leader", None)
+        if callable(current_leader):
+            leader = current_leader()
+        return leader is None or leader not in self.colluders
+
+    def report_fraud(self, replica: Any, guilty: Set[int]) -> bool:
+        """An equivocator never incriminates the collusion (or itself)."""
+        return False
+
+    def filter_evidence(self, replica: Any, statements: Iterable[Any]) -> List[Any]:
+        """Strip collusion-signed statements from outgoing evidence."""
+        insiders = self.colluders | {getattr(replica, "player_id", -1)}
+        return [s for s in statements if getattr(s, "signer", None) not in insiders]
+
+
+class NoisyEquivocateStrategy(EquivocateStrategy):
+    """π_ds without audience targeting: both conflicting versions go to
+    everyone.
+
+    The clumsiest double-signer — it can never fork anyone, but it is
+    the canonical trigger for Figure 1's Expose path: every honest
+    player immediately holds the conflicting pair and, once more than
+    t0 players deviate this way, broadcasts the Proof-of-Fraud and
+    aborts the round.
+    """
+
+    name = "pi_ds_noisy"
+
+    def _targets(self, side: int, recipients: Sequence[int]) -> Set[int]:
+        return set(recipients) | self.colluders
+
+
+class CensorshipStrategy(Strategy):
+    """π_pc — Theorem 2's partial-censorship strategy.
+
+    The coalition K ∪ T plays: abstain whenever the round's leader is
+    outside the coalition; follow the protocol but omit the censored
+    transactions whenever a coalition member leads.  Liveness survives
+    (coalition leaders still produce blocks) while the censored
+    transactions never confirm.
+    """
+
+    name = "pi_pc"
+
+    def __init__(self, coalition: Iterable[int], censored_tx_ids: Iterable[str]) -> None:
+        self.coalition: Set[int] = set(coalition)
+        self.censored_tx_ids: Set[str] = set(censored_tx_ids)
+        if not self.coalition:
+            raise ValueError("coalition must be non-empty")
+
+    def _leader_in_coalition(self, replica: Any) -> bool:
+        return replica.current_leader() in self.coalition
+
+    def participates(self, replica: Any, phase: str) -> bool:
+        return self._leader_in_coalition(replica)
+
+    def select_transactions(self, replica: Any, candidates: Sequence[Any]) -> List[Any]:
+        return [tx for tx in candidates if tx.tx_id not in self.censored_tx_ids]
+
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Optional[MessageFactory],
+        recipients: Iterable[int],
+    ) -> Dict[int, Optional[Any]]:
+        if self._leader_in_coalition(replica):
+            return {recipient: primary for recipient in recipients}
+        return {recipient: None for recipient in recipients}
+
+    def report_fraud(self, replica: Any, guilty: Set[int]) -> bool:
+        return not (set(guilty) & self.coalition)
+
+
+class BaitingPolicy(enum.Enum):
+    """A TRAP rational player's stance when it holds fraud evidence."""
+
+    BAIT = "bait"
+    SUPPRESS = "suppress"
+
+
+class TrapRationalStrategy(Strategy):
+    """Strategy of a rational player inside a TRAP-style collusion.
+
+    The player equivocates along with the collusion (π_fork) but, on
+    observing fraud, chooses between baiting — submitting the
+    Proof-of-Fraud for the reward R — and suppressing it so the fork
+    stands (Theorem 3's second equilibrium).
+    """
+
+    def __init__(
+        self,
+        policy: BaitingPolicy,
+        group_a: Optional[Iterable[int]] = None,
+        group_b: Optional[Iterable[int]] = None,
+        colluders: Optional[Iterable[int]] = None,
+        shared_sides: Optional[Dict[Any, int]] = None,
+    ) -> None:
+        self.policy = policy
+        self._equivocation = EquivocateStrategy(
+            group_a=group_a,
+            group_b=group_b,
+            colluders=colluders,
+            shared_sides=shared_sides,
+        )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "pi_bait" if self.policy is BaitingPolicy.BAIT else "pi_fork"
+
+    def double_votes(self) -> bool:
+        """Baiters abandon the collusion: they sign one value, honestly.
+
+        This is what shrinks the fork's vote arithmetic to
+        |A| + (k − m) + t in Theorem 3's analysis.
+        """
+        return self.policy is BaitingPolicy.SUPPRESS
+
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Optional[MessageFactory],
+        recipients: Iterable[int],
+    ) -> Dict[int, Optional[Any]]:
+        if self.policy is BaitingPolicy.BAIT:
+            return Strategy.plan_broadcast(self, replica, primary, None, recipients)
+        return self._equivocation.plan_broadcast(
+            replica, primary, alternative_factory, recipients
+        )
+
+    def report_fraud(self, replica: Any, guilty: Set[int]) -> bool:
+        return self.policy is BaitingPolicy.BAIT

@@ -1,0 +1,79 @@
+"""Accountability checking (Definition 6 of the paper).
+
+A protocol is accountable if, whenever honest parties disagree (or
+more generally whenever deviation is penalised), there exists a
+Proof-of-Fraud π such that the verification algorithm V(π) outputs the
+deviating players — and V never outputs an honest player.  The checker
+cross-references three sources:
+
+1. the burns recorded in the collateral registry,
+2. the fraud proofs held by honest replicas' detectors,
+3. the ground-truth deviator set (players whose strategy double-signs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.pof import FraudProof, verify_proofs
+from repro.protocols.runner import RunResult
+
+
+@dataclass
+class AccountabilityReport:
+    """Who was burned, who is provably guilty, who actually deviated."""
+
+    burned: Set[int]
+    provably_guilty: Set[int]
+    ground_truth_deviators: Set[int]
+    honest_ids: Set[int]
+
+    @property
+    def no_honest_framed(self) -> bool:
+        """Soundness: no honest player burned or provably accused."""
+        return not (self.burned & self.honest_ids) and not (
+            self.provably_guilty & self.honest_ids
+        )
+
+    @property
+    def burns_backed_by_proofs(self) -> bool:
+        """Every burn is justified by a verifying Proof-of-Fraud."""
+        return self.burned <= self.provably_guilty
+
+    @property
+    def burns_hit_deviators(self) -> bool:
+        """Every burn lands on a ground-truth deviator."""
+        return self.burned <= self.ground_truth_deviators
+
+    @property
+    def sound(self) -> bool:
+        return self.no_honest_framed and self.burns_backed_by_proofs and self.burns_hit_deviators
+
+
+def _deviator_ground_truth(result: RunResult) -> Set[int]:
+    """Players whose strategy signs conflicting statements (π_ds)."""
+    deviators = set()
+    for player in result.players:
+        if player.strategy.double_votes():
+            deviators.add(player.player_id)
+    return deviators
+
+
+def check_accountability(result: RunResult) -> AccountabilityReport:
+    """Cross-check burns, proofs and ground truth for one run."""
+    registry = result.ctx.registry
+    provably_guilty: Set[int] = set()
+    for pid in result.honest_ids:
+        replica = result.replicas[pid]
+        detector = getattr(replica, "detector", None)
+        if detector is None:
+            continue
+        proofs: Dict[int, FraudProof] = detector.proofs()
+        provably_guilty |= verify_proofs(proofs.values(), registry)
+    return AccountabilityReport(
+        burned=set(result.penalised_players()),
+        provably_guilty=provably_guilty,
+        ground_truth_deviators=_deviator_ground_truth(result),
+        honest_ids=set(result.honest_ids),
+    )

@@ -1,0 +1,68 @@
+"""Message-complexity measurement (the Figure-3 table).
+
+For each protocol we measure, from honest full runs at several
+committee sizes n, the per-round message count and byte volume, then
+fit the growth exponent on a log-log scale.  The paper's table reports
+asymptotic worst-case orders; the *relative* ordering (HotStuff below
+pBFT below the accountable protocols on size; pRFT on par with
+Polygraph) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import run_consensus
+from repro.sim.metrics import fit_exponent
+
+
+@dataclass
+class ComplexityMeasurement:
+    """Per-round traffic of one protocol across committee sizes."""
+
+    protocol: str
+    sizes: List[int]
+    messages_per_round: List[float]
+    bytes_per_round: List[float]
+
+    @property
+    def message_exponent(self) -> float:
+        """Fitted b in messages ≈ a·n^b."""
+        return fit_exponent(self.sizes, self.messages_per_round)
+
+    @property
+    def size_exponent(self) -> float:
+        """Fitted b in bytes ≈ a·n^b."""
+        return fit_exponent(self.sizes, self.bytes_per_round)
+
+
+def measure_complexity(
+    protocol_name: str,
+    factory: Callable,
+    sizes: Sequence[int],
+    rounds: int = 2,
+    config_builder: Callable[[int], ProtocolConfig] = None,
+) -> ComplexityMeasurement:
+    """Run honest deployments at each n and collect per-round traffic."""
+    from repro.agents.player import honest_player
+
+    messages: List[float] = []
+    volumes: List[float] = []
+    for n in sizes:
+        if config_builder is not None:
+            config = config_builder(n)
+        else:
+            config = ProtocolConfig.for_prft(n=n, max_rounds=rounds)
+        players = [honest_player(i) for i in range(n)]
+        result = run_consensus(factory, players, config)
+        count, size = result.metrics.per_round_average()
+        messages.append(count)
+        volumes.append(size)
+    return ComplexityMeasurement(
+        protocol=protocol_name,
+        sizes=list(sizes),
+        messages_per_round=messages,
+        bytes_per_round=volumes,
+    )

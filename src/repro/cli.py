@@ -1,0 +1,139 @@
+"""Command-line interface: run named scenarios without writing code.
+
+Usage::
+
+    python -m repro.cli honest --protocol prft -n 8 --rounds 3
+    python -m repro.cli fork -n 9 --rational 2 --byzantine 1
+    python -m repro.cli liveness -n 9
+    python -m repro.cli censorship -n 9 --rounds 9
+
+Each scenario prints the terminal system state, the ledger lengths,
+penalised players, and the robustness verdict — the same quantities
+the paper's analysis is about.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import (
+    Player,
+    byzantine_player,
+    honest_player,
+    rational_player,
+)
+from repro.agents.strategies import HonestStrategy
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.net.delays import FixedDelay, PartialSynchronyDelay
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.hotstuff import hotstuff_factory
+from repro.protocols.pbft import pbft_factory
+from repro.protocols.polygraph import polygraph_factory
+from repro.protocols.runner import RunResult, run_consensus
+from repro.protocols.trap import trap_factory
+
+FACTORIES = {
+    "prft": prft_factory,
+    "pbft": pbft_factory,
+    "hotstuff": hotstuff_factory,
+    "polygraph": polygraph_factory,
+    "trap": trap_factory,
+}
+
+ATTACK_THETA = {
+    "fork": PlayerType.FORK_SEEKING,
+    "censorship": PlayerType.CENSORSHIP_SEEKING,
+    "liveness": PlayerType.LIVENESS_ATTACKING,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run rational-consensus scenarios from the paper.",
+    )
+    parser.add_argument(
+        "scenario", choices=["honest", "fork", "liveness", "censorship"],
+        help="which scenario to run",
+    )
+    parser.add_argument("--protocol", choices=sorted(FACTORIES), default="prft")
+    parser.add_argument("-n", type=int, default=9, help="committee size")
+    parser.add_argument("--rounds", type=int, default=3, help="consensus rounds")
+    parser.add_argument("--rational", type=int, default=2, help="rational players k")
+    parser.add_argument("--byzantine", type=int, default=1, help="byzantine players t")
+    parser.add_argument("--timeout", type=float, default=15.0, help="phase timeout Δ")
+    parser.add_argument("--gst", type=float, default=None, help="run partially synchronous with this GST")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def build_players(args: argparse.Namespace) -> List[Player]:
+    if args.scenario == "honest":
+        return [honest_player(i) for i in range(args.n)]
+    theta = ATTACK_THETA[args.scenario]
+    if args.rational + args.byzantine >= args.n:
+        raise SystemExit("rational + byzantine must be fewer than n")
+    players: List[Player] = []
+    for i in range(args.n):
+        if i < args.rational:
+            players.append(rational_player(i, theta))
+        elif i < args.rational + args.byzantine:
+            players.append(byzantine_player(i, HonestStrategy()))
+        else:
+            players.append(honest_player(i))
+    censored = ["tx-0"] if args.scenario == "censorship" else None
+    assign_strategies(players, Collusion.of(players), args.scenario, censored_tx_ids=censored)
+    return players
+
+
+def run_scenario(args: argparse.Namespace) -> RunResult:
+    players = build_players(args)
+    if args.protocol == "prft":
+        config = ProtocolConfig.for_prft(n=args.n, max_rounds=args.rounds, timeout=args.timeout)
+    else:
+        config = ProtocolConfig.for_bft(n=args.n, max_rounds=args.rounds, timeout=args.timeout)
+    if args.gst is not None:
+        delay = PartialSynchronyDelay(gst=args.gst, delta=1.0, seed=args.seed)
+    else:
+        delay = FixedDelay(1.0)
+    return run_consensus(
+        FACTORIES[args.protocol], players, config, delay_model=delay,
+        max_time=1_000.0 + (args.gst or 0.0) * 5,
+    )
+
+
+def report(result: RunResult, args: argparse.Namespace) -> str:
+    censored = ["tx-0"] if args.scenario == "censorship" else None
+    verdict = check_robustness(result, censored_tx_ids=censored)
+    rows = [
+        ["scenario", args.scenario],
+        ["protocol", args.protocol],
+        ["system state", result.system_state(censored_tx_ids=censored).name],
+        ["final blocks", result.final_block_count()],
+        ["penalised players", sorted(result.penalised_players())],
+        ["agreement", verdict.agreement],
+        ["eventual liveness", verdict.eventual_liveness],
+        ["(t,k)-robust", verdict.robust],
+        ["messages", result.metrics.total_messages],
+        ["bytes", result.metrics.total_bytes],
+    ]
+    if censored is not None:
+        rows.append(["censorship resistant", verdict.censorship_resistance])
+    return render_table(["quantity", "value"], rows, title="repro scenario result")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    result = run_scenario(args)
+    print(report(result, args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""pRFT wire formats (Figure 2b of the paper).
+
+Every message is anchored by a :class:`SignedStatement` — the signer's
+signature over the tuple (protocol, phase, round, digest).  Binding the
+round number into the signed statement prevents cross-round replay
+(footnote 11); binding the phase makes "two conflicting signatures in
+the same phase of the same round" (the π_ds deviation) a purely
+syntactic condition that :mod:`repro.core.pof` can check.
+
+Quorum-carrying messages (Commit, Reveal, CommitView) embed the full
+justification sets, which is what gives pRFT its O(κ·n) message size
+per message — the price of accountability (Figure 3).  Commit and
+Reveal also carry the proposed block body so that players cut off
+behind a partition can adopt the decided block once messages flow
+again (the paper's "all messages from a round are eventually delivered
+before the next GST", Theorem 5 proof).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, sign
+
+KAPPA = 32
+"""The security parameter κ: bytes charged per signature/digest."""
+
+
+class Phase(str, enum.Enum):
+    """The phases a statement can belong to."""
+
+    PROPOSE = "propose"
+    VOTE = "vote"
+    COMMIT = "commit"
+    REVEAL = "reveal"
+    FINAL = "final"
+    EXPOSE = "expose"
+    VIEW_CHANGE = "view-change"
+    COMMIT_VIEW = "commit-view"
+
+
+def statement_value(phase: str, round_number: int, digest: str) -> Tuple[Any, ...]:
+    """The canonical tuple a statement signature covers."""
+    return ("prft", phase, round_number, digest)
+
+
+@dataclass(frozen=True, order=True)
+class SignedStatement:
+    """A player's signature over (phase, round, digest)."""
+
+    phase: str
+    round_number: int
+    digest: str
+    signature: Signature
+
+    @property
+    def signer(self) -> int:
+        return self.signature.signer
+
+    def value(self) -> Tuple[Any, ...]:
+        return statement_value(self.phase, self.round_number, self.digest)
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return ("stmt", self.phase, self.round_number, self.digest, self.signature.canonical())
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 * KAPPA
+
+    def conflicts_with(self, other: "SignedStatement") -> bool:
+        """True if the two statements are a double-sign pair: same
+        signer, same phase, same round, different digests."""
+        return (
+            self.signer == other.signer
+            and self.phase == other.phase
+            and self.round_number == other.round_number
+            and self.digest != other.digest
+        )
+
+
+def make_statement(keypair: KeyPair, phase: str, round_number: int, digest: str) -> SignedStatement:
+    """Sign (phase, round, digest) and wrap the result."""
+    signature = sign(keypair, statement_value(phase, round_number, digest))
+    return SignedStatement(
+        phase=phase, round_number=round_number, digest=digest, signature=signature
+    )
+
+
+def verify_statement(registry: KeyRegistry, statement: SignedStatement) -> bool:
+    """Check the statement's signature against the trusted setup."""
+    return registry.verify(statement.signature, statement.value())
+
+
+# ----------------------------------------------------------------------
+# Protocol messages.  Each exposes .round_number and (where meaningful)
+# .digest, which strategies use to route equivocating broadcasts.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProposeMessage:
+    """⟨Propose, B_l, h_l, r⟩ signed by the leader."""
+
+    block: Any
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_estimate_bytes + self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class VoteMessage:
+    """⟨Vote, h, s^pro_l, r⟩ signed by the voter."""
+
+    statement: SignedStatement
+    propose_signature: Signature
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes + KAPPA
+
+
+@dataclass(frozen=True)
+class CommitMessage:
+    """⟨Commit, h*, s^pro_l, V_i, r⟩: commit plus the vote quorum V_i."""
+
+    statement: SignedStatement
+    votes: FrozenSet[SignedStatement]
+    block: Optional[Any] = None
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.statement.size_bytes + sum(v.size_bytes for v in self.votes) + block_size
+
+
+@dataclass(frozen=True)
+class RevealMessage:
+    """⟨Reveal, h_tc, h_l, W_i, r⟩: the Proof-of-Commitment W_i."""
+
+    statement: SignedStatement
+    commits: FrozenSet[SignedStatement]
+    block: Optional[Any] = None
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.statement.size_bytes + sum(c.size_bytes for c in self.commits) + block_size
+
+
+@dataclass(frozen=True)
+class FinalMessage:
+    """⟨Final, h_l, s^pro_l⟩ signed by the finaliser."""
+
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class ExposeMessage:
+    """⟨Expose, D_i, r⟩: the Proof-of-Fraud set of double-sign pairs."""
+
+    round_number: int
+    proofs: FrozenSet[Any]  # FraudProof; Any avoids a circular import
+    statement: SignedStatement
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes + sum(p.size_bytes for p in self.proofs)
+
+
+@dataclass(frozen=True)
+class ViewChangeMessage:
+    """⟨ViewChange, Phase, r⟩ — the digest slot records the stalled phase.
+
+    ``evidence`` carries every propose/vote/commit statement the sender
+    holds for the stalled round, the analogue of the prepared
+    certificates in pBFT's view change.  It is what lets all honest
+    players assemble a Proof-of-Fraud after a fork *attempt* that
+    stalled the round without any commit quorum forming: the
+    conflicting signatures, scattered across the two victim groups,
+    meet inside the view-change exchange (Lemma 4's "signature on h_a
+    reaches P_b").
+    """
+
+    statement: SignedStatement
+    evidence: FrozenSet[SignedStatement] = frozenset()
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def stalled_phase(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes + sum(e.size_bytes for e in self.evidence)
+
+
+@dataclass(frozen=True)
+class CommitViewMessage:
+    """⟨CommitView, V_i, r⟩: carries the ViewChange quorum V_i."""
+
+    statement: SignedStatement
+    view_changes: FrozenSet[SignedStatement]
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes + sum(v.size_bytes for v in self.view_changes)

@@ -1,0 +1,179 @@
+"""Proof-of-Fraud construction and verification (Figure 4, Definition 6).
+
+A fraud proof is a pair of validly signed statements by the same player
+in the same phase of the same round over *different* digests — exactly
+the π_ds deviation.  Unforgeability of signatures makes the proof
+convincing to any verifier holding the trusted setup: only the accused
+could have produced both signatures.
+
+Two implementations are provided:
+
+- :func:`construct_pof` — the paper's batch ConstructProof procedure
+  (Figure 4): scan a pool of statements pairwise and return one proof
+  per guilty player;
+- :class:`FraudDetector` — an incremental, O(1)-per-statement detector
+  replicas use online (same output, indexed by (round, phase, signer)).
+
+The paper restricts the scan to the commit quorums carried by Reveal
+messages; we scan vote statements as well (they are carried inside
+Commit justifications), which strictly strengthens accountability —
+a failed fork attempt whose conflicting *votes* never produced
+conflicting commits is still attributable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.messages import KAPPA, SignedStatement, verify_statement
+from repro.crypto.registry import KeyRegistry
+
+
+@dataclass(frozen=True, order=True)
+class FraudProof:
+    """Two conflicting signed statements by one player."""
+
+    first: SignedStatement
+    second: SignedStatement
+
+    def __post_init__(self) -> None:
+        if not self.first.conflicts_with(self.second):
+            raise ValueError("statements do not form a double-sign pair")
+
+    @property
+    def accused(self) -> int:
+        return self.first.signer
+
+    @property
+    def round_number(self) -> int:
+        return self.first.round_number
+
+    @property
+    def phase(self) -> str:
+        return self.first.phase
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return ("pof", self.first.canonical(), self.second.canonical())
+
+    @property
+    def size_bytes(self) -> int:
+        return self.first.size_bytes + self.second.size_bytes
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """Both signatures check out against the trusted setup.
+
+        Structural conflict is enforced at construction; verification
+        is what makes the accusation binding (Definition 6's V(·)).
+        """
+        return verify_statement(registry, self.first) and verify_statement(
+            registry, self.second
+        )
+
+
+def construct_pof(
+    statements: Iterable[SignedStatement],
+    registry: Optional[KeyRegistry] = None,
+) -> Dict[int, FraudProof]:
+    """The batch ConstructProof of Figure 4.
+
+    Scans the pool for conflicting pairs and returns one proof per
+    guilty player.  If ``registry`` is given, statements that fail
+    signature verification are discarded first (so a forged statement
+    can never frame an honest player).
+    """
+    pool: List[SignedStatement] = list(statements)
+    if registry is not None:
+        pool = [stmt for stmt in pool if verify_statement(registry, stmt)]
+
+    by_slot: Dict[Tuple[int, str, int], Dict[str, SignedStatement]] = {}
+    proofs: Dict[int, FraudProof] = {}
+    for stmt in pool:
+        slot = (stmt.round_number, stmt.phase, stmt.signer)
+        seen = by_slot.setdefault(slot, {})
+        if stmt.digest in seen:
+            continue
+        if seen and stmt.signer not in proofs:
+            other = next(iter(seen.values()))
+            first, second = sorted([other, stmt])
+            proofs[stmt.signer] = FraudProof(first=first, second=second)
+        seen[stmt.digest] = stmt
+    return proofs
+
+
+def guilty_players(proofs: Iterable[FraudProof]) -> Set[int]:
+    """The set of players a collection of proofs accuses."""
+    return {proof.accused for proof in proofs}
+
+
+def verify_proofs(
+    proofs: Iterable[FraudProof],
+    registry: KeyRegistry,
+) -> Set[int]:
+    """Definition 6's verification algorithm V(π).
+
+    Returns the set of players accused by *valid* proofs; invalid
+    proofs accuse nobody.
+    """
+    return {proof.accused for proof in proofs if proof.verify(registry)}
+
+
+@dataclass
+class FraudDetector:
+    """Incremental double-sign detection for online use by replicas.
+
+    Statements are absorbed one by one; the first conflicting pair per
+    (round, phase, signer) slot yields a proof.  ``registry`` (when
+    set) rejects forged statements on absorption.
+    """
+
+    registry: Optional[KeyRegistry] = None
+    _seen: Dict[Tuple[int, str, int], Dict[str, SignedStatement]] = field(default_factory=dict)
+    _proofs: Dict[int, FraudProof] = field(default_factory=dict)
+
+    def absorb(self, statement: SignedStatement) -> Optional[FraudProof]:
+        """Add one statement; return a new proof if it exposes fraud."""
+        if self.registry is not None and not verify_statement(self.registry, statement):
+            return None
+        slot = (statement.round_number, statement.phase, statement.signer)
+        seen = self._seen.setdefault(slot, {})
+        if statement.digest in seen:
+            return None
+        if seen and statement.signer not in self._proofs:
+            other = next(iter(seen.values()))
+            first, second = sorted([other, statement])
+            proof = FraudProof(first=first, second=second)
+            self._proofs[statement.signer] = proof
+            seen[statement.digest] = statement
+            return proof
+        seen[statement.digest] = statement
+        return None
+
+    def absorb_all(self, statements: Iterable[SignedStatement]) -> List[FraudProof]:
+        """Absorb many; return the newly constructed proofs."""
+        fresh = []
+        for statement in statements:
+            proof = self.absorb(statement)
+            if proof is not None:
+                fresh.append(proof)
+        return fresh
+
+    def proofs(self) -> Dict[int, FraudProof]:
+        """All proofs constructed so far, keyed by accused player."""
+        return dict(self._proofs)
+
+    def guilty(self) -> Set[int]:
+        return set(self._proofs)
+
+    def guilty_in_round(self, round_number: int) -> Set[int]:
+        """Players with a constructed proof in ``round_number``."""
+        return {
+            accused
+            for accused, proof in self._proofs.items()
+            if proof.round_number == round_number
+        }
+
+    def proofs_for_round(self, round_number: int) -> FrozenSet[FraudProof]:
+        return frozenset(
+            proof for proof in self._proofs.values() if proof.round_number == round_number
+        )

@@ -1,0 +1,747 @@
+"""The pRFT replica state machine (Figure 1 + Section 5.2).
+
+Implementation notes, and where we deviate from the paper's figure:
+
+- **Everyone votes.**  Figure 1 has only non-leaders vote; we let the
+  leader vote for its own proposal too (it receives the proposal over
+  loopback like everyone else).  This keeps the n − t0 vote quorum
+  reachable for the small-n corner where t0 = 0, and is the standard
+  practice in deployed BFT systems.
+- **View-change quorum counts per round**, not per stalled phase:
+  honest players can time out in different phases of the same round
+  (some voted, some did not), and requiring phase-exact matches can
+  wedge the round.  The stalled phase is still carried and recorded.
+- **CommitView threshold is ≥ n − t0** (the paper's step 5 says
+  "> n − t0", which is unreachable when exactly n − t0 players are
+  live, i.e. t = t0).
+- **Fraud is burned as soon as one honest player proves it.**  Figure 1
+  broadcasts an Expose only when |D_i| > t0 (that is when the *round*
+  aborts); Section 5.3.1 separately says any PoF can be used to burn
+  the culprit's collateral via a later transaction.  We model the
+  latter with an immediate burn against the shared collateral
+  registry, tagged in the trace.
+- **Vote statements are scanned for fraud too** (they travel inside
+  Commit justifications); see :mod:`repro.core.pof`.
+- **Catch-up through reliable channels.**  Commit and Reveal messages
+  carry the block body, so a player cut off behind a partition adopts
+  the decided block when the messages eventually arrive (Theorem 5's
+  "all messages from a round are eventually delivered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.agents.player import Player
+from repro.core.messages import (
+    CommitMessage,
+    CommitViewMessage,
+    ExposeMessage,
+    FinalMessage,
+    KAPPA,
+    Phase,
+    ProposeMessage,
+    RevealMessage,
+    SignedStatement,
+    ViewChangeMessage,
+    VoteMessage,
+    make_statement,
+    verify_statement,
+)
+from repro.core.pof import FraudDetector, FraudProof
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+
+_FRAUD_PHASES = {Phase.PROPOSE.value, Phase.VOTE.value, Phase.COMMIT.value, Phase.REVEAL.value}
+
+
+@dataclass
+class RoundState:
+    """Everything a replica tracks for one round."""
+
+    number: int
+    proposals: Dict[str, ProposeMessage] = field(default_factory=dict)
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    voted_digests: Set[str] = field(default_factory=set)
+    votes: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    committed_digests: Set[str] = field(default_factory=set)
+    commits: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    revealed_digests: Set[str] = field(default_factory=set)
+    reveal_senders: Dict[str, Set[int]] = field(default_factory=dict)
+    finals: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    final_sent: bool = False
+    finalized: bool = False
+    tentative_digest: Optional[str] = None
+    exposed: bool = False
+    view_change_sent: bool = False
+    view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
+    commit_view_sent: bool = False
+    commit_views: Dict[int, CommitViewMessage] = field(default_factory=dict)
+    view_committed: bool = False
+    advanced: bool = False
+
+
+class PRFTReplica(BaseReplica):
+    """One pRFT player: 4-phase rounds, PoF accountability, view change."""
+
+    def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
+        super().__init__(player, config, ctx)
+        self.current_round = 0
+        self.detector = FraudDetector(registry=ctx.registry)
+        self.reported_guilty: Set[int] = set()
+        self._rounds: Dict[int, RoundState] = {}
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Round bookkeeping
+    # ------------------------------------------------------------------
+    def current_leader(self) -> int:
+        return self.leader_of_round(self.current_round)
+
+    def round_state(self, round_number: int) -> RoundState:
+        state = self._rounds.get(round_number)
+        if state is None:
+            state = RoundState(number=round_number)
+            self._rounds[round_number] = state
+        return state
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._start_round(0)
+
+    def _start_round(self, round_number: int) -> None:
+        if self.halted:
+            return
+        if round_number >= self.config.max_rounds:
+            self.trace("halt", round=round_number)
+            self.halt()
+            return
+        self.current_round = round_number
+        state = self.round_state(round_number)
+        self.trace("round_start", round=round_number, leader=self.leader_of_round(round_number))
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_round_timeout(round_number),
+        )
+        if self.leader_of_round(round_number) == self.player_id:
+            self._propose(round_number)
+        backlog = self._future.pop(round_number, [])
+        for sender, payload in backlog:
+            self.handle_payload(sender, payload)
+
+    def _advance(self, from_round: int) -> None:
+        state = self.round_state(from_round)
+        if state.advanced or self.current_round != from_round:
+            return
+        state.advanced = True
+        self.cancel_timer(f"round-{from_round}")
+        self._start_round(from_round + 1)
+
+    # ------------------------------------------------------------------
+    # Propose phase
+    # ------------------------------------------------------------------
+    def _build_block(self, round_number: int, conflict_marker: bool = False) -> Block:
+        candidates = self.mempool.select(self.config.block_size)
+        transactions = self.strategy.select_transactions(self, candidates)
+        if conflict_marker:
+            marker = Transaction(
+                tx_id=f"__fork-r{round_number}-p{self.player_id}",
+                payload="equivocation marker",
+            )
+            transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])
+        return Block(
+            round_number=round_number,
+            proposer=self.player_id,
+            parent_digest=self.chain.head().digest,
+            transactions=tuple(transactions),
+        )
+
+    def _make_propose(self, round_number: int, conflict_marker: bool = False) -> ProposeMessage:
+        block = self._build_block(round_number, conflict_marker=conflict_marker)
+        statement = make_statement(
+            self.keypair, Phase.PROPOSE.value, round_number, block.digest
+        )
+        return ProposeMessage(block=block, statement=statement)
+
+    def _propose(self, round_number: int) -> None:
+        primary = self._make_propose(round_number)
+        self.trace("propose", round=round_number, digest=primary.digest[:12])
+        self.broadcast(
+            primary,
+            message_type="propose",
+            size_bytes=primary.size_bytes,
+            round_number=round_number,
+            alternative_factory=lambda: self._make_propose(round_number, conflict_marker=True),
+            phase=Phase.PROPOSE.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_payload(self, sender: int, payload: Any) -> None:
+        round_number = getattr(payload, "round_number", None)
+        if round_number is None:
+            return
+        if round_number > self.current_round:
+            self._future.setdefault(round_number, []).append((sender, payload))
+            return
+        if round_number < self.current_round:
+            self._absorb_for_accountability(sender, payload)
+            return
+        handler = {
+            ProposeMessage: self._on_propose,
+            VoteMessage: self._on_vote,
+            CommitMessage: self._on_commit,
+            RevealMessage: self._on_reveal,
+            FinalMessage: self._on_final,
+            ExposeMessage: self._on_expose,
+            ViewChangeMessage: self._on_view_change,
+            CommitViewMessage: self._on_commit_view,
+        }.get(type(payload))
+        if handler is not None:
+            handler(sender, payload)
+
+    def on_halted_payload(self, sender: int, payload: Any) -> None:
+        """Keep harvesting fraud/finality evidence after halting."""
+        self._absorb_for_accountability(sender, payload)
+
+    def _valid_statement(self, statement: SignedStatement, sender: int, phase: str) -> bool:
+        """Recv-boundary validation: right phase, right signer, valid sig."""
+        if statement.phase != phase:
+            return False
+        if statement.signer != sender:
+            return False
+        return verify_statement(self.ctx.registry, statement)
+
+    # ------------------------------------------------------------------
+    # Accountability plumbing
+    # ------------------------------------------------------------------
+    def _absorb_statement(self, statement: SignedStatement) -> None:
+        if statement.phase not in _FRAUD_PHASES:
+            return
+        proof = self.detector.absorb(statement)
+        if proof is not None:
+            self._punish(proof)
+
+    def _punish(self, proof: FraudProof) -> None:
+        """Burn a freshly proven double-signer's collateral.
+
+        The strategy gate models suppression: a colluder that
+        constructs a proof against its own collusion keeps quiet.  Any
+        honest replica burns, and burning is idempotent, so one honest
+        observer suffices (Definition 6's "eventually all honest").
+        """
+        accused = proof.accused
+        if accused in self.reported_guilty:
+            return
+        if not self.strategy.report_fraud(self, {accused}):
+            return
+        self.reported_guilty.add(accused)
+        newly_burned = self.ctx.collateral.burn(accused, reason=f"pof-round-{proof.round_number}")
+        self.trace(
+            "burn",
+            accused=accused,
+            round=proof.round_number,
+            phase=proof.phase,
+            fresh=newly_burned,
+        )
+
+    def _absorb_for_accountability(self, sender: int, payload: Any) -> None:
+        """Late (past-round) messages still matter.
+
+        Reliable channels deliver everything eventually (possibly after
+        the receiver moved on), and two things must survive the round
+        boundary: fraud evidence (statements feed the detector, proofs
+        burn collateral) and finalisation evidence (a reveal quorum or
+        final majority for a round we timed out of lets us adopt the
+        block retroactively — the catch-up path of Theorem 5's proof).
+        """
+        statement = getattr(payload, "statement", None)
+        if isinstance(statement, SignedStatement) and verify_statement(
+            self.ctx.registry, statement
+        ):
+            self._absorb_statement(statement)
+        for attr in ("votes", "commits"):
+            justification = getattr(payload, attr, None)
+            if justification:
+                for stmt in justification:
+                    if verify_statement(self.ctx.registry, stmt):
+                        self._absorb_statement(stmt)
+        if isinstance(payload, ExposeMessage):
+            for proof in payload.proofs:
+                if proof.verify(self.ctx.registry):
+                    self._punish(proof)
+            return
+        if isinstance(payload, RevealMessage):
+            self._absorb_late_reveal(sender, payload)
+        elif isinstance(payload, FinalMessage):
+            self._absorb_late_final(sender, payload)
+
+    def _absorb_late_reveal(self, sender: int, message: RevealMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        if state.finalized:
+            return
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.REVEAL.value):
+            return
+        digest = statement.digest
+        if not self._justification_valid(message.commits, Phase.COMMIT.value, round_number, digest):
+            return
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
+        state.reveal_senders.setdefault(digest, set()).add(sender)
+        guilty = self.detector.guilty_in_round(round_number)
+        if len(guilty) > self.config.t0:
+            return
+        if len(state.reveal_senders[digest]) >= self.config.quorum_size:
+            self._retro_finalize(state, digest)
+
+    def _absorb_late_final(self, sender: int, message: FinalMessage) -> None:
+        state = self.round_state(message.round_number)
+        if state.finalized:
+            return
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.FINAL.value):
+            return
+        digest = statement.digest
+        state.finals.setdefault(digest, {})[sender] = statement
+        if len(state.finals[digest]) > self.config.n / 2:
+            self._retro_finalize(state, digest)
+
+    def _retro_finalize(self, state: RoundState, digest: str) -> None:
+        """Adopt a block we missed, if it links onto our chain head."""
+        block = state.blocks.get(digest)
+        if block is None or block.parent_digest != self.chain.head().digest:
+            return
+        self.trace("retro_final", round=state.number, digest=digest[:12])
+        self._finalize(state, digest, broadcast_final=False)
+
+    # ------------------------------------------------------------------
+    # Vote phase
+    # ------------------------------------------------------------------
+    def _on_propose(self, sender: int, message: ProposeMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if sender != self.leader_of_round(round_number):
+            return
+        if not self._valid_statement(statement, sender, Phase.PROPOSE.value):
+            return
+        if message.block.digest != statement.digest:
+            return
+        if message.block.round_number != round_number:
+            return
+        digest = statement.digest
+        self._absorb_statement(statement)
+        if digest in state.proposals:
+            return
+        state.proposals[digest] = message
+        state.blocks[digest] = message.block
+        if len(state.proposals) >= 2:
+            self.trace("leader_equivocation", round=round_number, leader=sender)
+            if self.strategy.report_fraud(self, {sender}):
+                self._initiate_view_change(round_number, Phase.PROPOSE.value)
+        if state.view_committed:
+            return
+        may_vote = not state.voted_digests or self.strategy.double_votes()
+        if digest in state.voted_digests or not may_vote:
+            return
+        if message.block.parent_digest != self.chain.head().digest:
+            self.trace("reject_parent", round=round_number, digest=digest[:12])
+            return
+        state.voted_digests.add(digest)
+        vote_statement = make_statement(self.keypair, Phase.VOTE.value, round_number, digest)
+        vote = VoteMessage(statement=vote_statement, propose_signature=statement.signature)
+        alternative = None
+        if len(state.proposals) == 1 and self.strategy.double_votes():
+            alternative = self._fabricated_vote_factory(round_number, digest, statement)
+        self.broadcast(
+            vote,
+            message_type="vote",
+            size_bytes=vote.size_bytes,
+            round_number=round_number,
+            alternative_factory=alternative,
+            phase=Phase.VOTE.value,
+        )
+
+    def _fabricated_vote_factory(
+        self,
+        round_number: int,
+        digest: str,
+        propose_statement: SignedStatement,
+    ):
+        """A π_fork voter facing a single honest proposal fabricates a
+        conflicting vote for a nonexistent digest (Lemma 4's analysis:
+        such a vote can never gather a quorum, but it is a conflicting
+        signature and will be captured)."""
+
+        def build() -> VoteMessage:
+            from repro.crypto.hashing import hash_value
+
+            fake_digest = hash_value(("fabricated", round_number, digest, self.player_id))
+            statement = make_statement(
+                self.keypair, Phase.VOTE.value, round_number, fake_digest
+            )
+            return VoteMessage(statement=statement, propose_signature=propose_statement.signature)
+
+        return build
+
+    # ------------------------------------------------------------------
+    # Commit phase
+    # ------------------------------------------------------------------
+    def _on_vote(self, sender: int, message: VoteMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.VOTE.value):
+            return
+        self._absorb_statement(statement)
+        digest = statement.digest
+        state.votes.setdefault(digest, {})[sender] = statement
+        if state.view_committed:
+            return
+        if len(state.votes[digest]) < self.config.quorum_size:
+            return
+        may_commit = not state.committed_digests or self.strategy.double_votes()
+        if digest in state.committed_digests or not may_commit:
+            return
+        state.committed_digests.add(digest)
+        commit_statement = make_statement(self.keypair, Phase.COMMIT.value, round_number, digest)
+        commit = CommitMessage(
+            statement=commit_statement,
+            votes=frozenset(state.votes[digest].values()),
+            block=state.blocks.get(digest),
+        )
+        self.trace("commit", round=round_number, digest=digest[:12])
+        self.broadcast(
+            commit,
+            message_type="commit",
+            size_bytes=commit.size_bytes,
+            round_number=round_number,
+            phase=Phase.COMMIT.value,
+        )
+
+    # ------------------------------------------------------------------
+    # Reveal phase (tentative consensus)
+    # ------------------------------------------------------------------
+    def _on_commit(self, sender: int, message: CommitMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.COMMIT.value):
+            return
+        digest = statement.digest
+        if not self._justification_valid(message.votes, Phase.VOTE.value, round_number, digest):
+            return
+        self._absorb_statement(statement)
+        for vote_statement in message.votes:
+            self._absorb_statement(vote_statement)
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
+        state.commits.setdefault(digest, {})[sender] = statement
+        if state.view_committed:
+            return
+        if len(state.commits[digest]) < self.config.quorum_size:
+            return
+        may_reveal = not state.revealed_digests or self.strategy.double_votes()
+        if digest in state.revealed_digests or not may_reveal:
+            return
+        state.revealed_digests.add(digest)
+        self._reach_tentative(state, digest)
+        reveal_statement = make_statement(self.keypair, Phase.REVEAL.value, round_number, digest)
+        reveal = RevealMessage(
+            statement=reveal_statement,
+            commits=frozenset(state.commits[digest].values()),
+            block=state.blocks.get(digest),
+        )
+        self.broadcast(
+            reveal,
+            message_type="reveal",
+            size_bytes=reveal.size_bytes,
+            round_number=round_number,
+            phase=Phase.REVEAL.value,
+        )
+
+    def _justification_valid(
+        self,
+        statements: FrozenSet[SignedStatement],
+        phase: str,
+        round_number: int,
+        digest: str,
+    ) -> bool:
+        """A quorum certificate must hold ≥ τ valid, distinct-signer
+        signatures on the right (phase, round, digest)."""
+        signers = set()
+        for statement in statements:
+            if statement.phase != phase:
+                return False
+            if statement.round_number != round_number or statement.digest != digest:
+                return False
+            if not verify_statement(self.ctx.registry, statement):
+                return False
+            signers.add(statement.signer)
+        return len(signers) >= self.config.quorum_size
+
+    def _reach_tentative(self, state: RoundState, digest: str) -> None:
+        if state.tentative_digest is not None:
+            return
+        block = state.blocks.get(digest)
+        if block is None or block.parent_digest != self.chain.head().digest:
+            return
+        self.chain.append_tentative(block)
+        state.tentative_digest = digest
+        self.trace("tentative", round=state.number, digest=digest[:12])
+
+    # ------------------------------------------------------------------
+    # Final / Expose
+    # ------------------------------------------------------------------
+    def _on_reveal(self, sender: int, message: RevealMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.REVEAL.value):
+            return
+        digest = statement.digest
+        if not self._justification_valid(message.commits, Phase.COMMIT.value, round_number, digest):
+            return
+        self._absorb_statement(statement)
+        for commit_statement in message.commits:
+            self._absorb_statement(commit_statement)
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
+        state.reveal_senders.setdefault(digest, set()).add(sender)
+        self._reveal_phase_decision(state, digest)
+
+    def _reveal_phase_decision(self, state: RoundState, digest: str) -> None:
+        """Figure 1 lines 31-37: Expose, Final, or wait."""
+        if state.finalized or state.view_committed:
+            return
+        guilty = self.detector.guilty_in_round(state.number)
+        if len(guilty) > self.config.t0:
+            self._expose(state)
+            return
+        if len(state.reveal_senders.get(digest, ())) >= self.config.quorum_size:
+            self._finalize(state, digest, broadcast_final=True)
+
+    def _expose(self, state: RoundState) -> None:
+        if state.exposed:
+            return
+        state.exposed = True
+        proofs = self.detector.proofs_for_round(state.number)
+        self.trace("expose", round=state.number, accused=sorted(p.accused for p in proofs))
+        if self.strategy.report_fraud(self, {p.accused for p in proofs}):
+            statement = make_statement(self.keypair, Phase.EXPOSE.value, state.number, "")
+            expose = ExposeMessage(round_number=state.number, proofs=proofs, statement=statement)
+            self.broadcast(
+                expose,
+                message_type="expose",
+                size_bytes=expose.size_bytes,
+                round_number=state.number,
+                phase=Phase.EXPOSE.value,
+            )
+        self._abort_round(state)
+
+    def _abort_round(self, state: RoundState) -> None:
+        """Roll back this round's tentative block and move on."""
+        if state.tentative_digest is not None and not state.finalized:
+            dropped = self.chain.rollback_tentative()
+            if dropped:
+                self.trace("rollback", round=state.number, count=len(dropped))
+            state.tentative_digest = None
+        self._advance(state.number)
+
+    def _finalize(self, state: RoundState, digest: str, broadcast_final: bool) -> None:
+        if state.finalized:
+            return
+        block = state.blocks.get(digest)
+        if block is None:
+            self.trace("finalize_missing_block", round=state.number, digest=digest[:12])
+            return
+        if state.tentative_digest != digest:
+            if state.tentative_digest is not None:
+                self.chain.rollback_tentative()
+                state.tentative_digest = None
+            if block.parent_digest != self.chain.head().digest:
+                self.trace("finalize_unlinked", round=state.number, digest=digest[:12])
+                return
+            self.chain.append_tentative(block)
+            state.tentative_digest = digest
+        state.finalized = True
+        self.chain.finalize(digest)
+        self.mempool.mark_included(tx.tx_id for tx in block.transactions)
+        self.ctx.collateral.note_block_mined()
+        self.trace("final", round=state.number, digest=digest[:12])
+        if broadcast_final and not state.final_sent:
+            state.final_sent = True
+            statement = make_statement(self.keypair, Phase.FINAL.value, state.number, digest)
+            final = FinalMessage(statement=statement)
+            self.broadcast(
+                final,
+                message_type="final",
+                size_bytes=final.size_bytes,
+                round_number=state.number,
+                phase=Phase.FINAL.value,
+            )
+        self._advance(state.number)
+
+    def _on_final(self, sender: int, message: FinalMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if not self._valid_statement(statement, sender, Phase.FINAL.value):
+            return
+        digest = statement.digest
+        state.finals.setdefault(digest, {})[sender] = statement
+        if state.finalized:
+            return
+        if len(state.finals[digest]) > self.config.n / 2:
+            self._finalize(state, digest, broadcast_final=True)
+
+    def _on_expose(self, sender: int, message: ExposeMessage) -> None:
+        state = self.round_state(message.round_number)
+        if not self._valid_statement(message.statement, sender, Phase.EXPOSE.value):
+            return
+        valid_accused = set()
+        for proof in message.proofs:
+            if proof.verify(self.ctx.registry):
+                valid_accused.add(proof.accused)
+                self._punish(proof)
+        if len(valid_accused) > self.config.t0 and not state.finalized:
+            self.trace("expose_accepted", round=state.number, accused=sorted(valid_accused))
+            self._abort_round(state)
+
+    # ------------------------------------------------------------------
+    # View change (Section 5.2)
+    # ------------------------------------------------------------------
+    def _on_round_timeout(self, round_number: int) -> None:
+        if self.halted or self.current_round != round_number:
+            return
+        state = self.round_state(round_number)
+        if state.finalized or state.advanced:
+            return
+        self.trace("timeout", round=round_number)
+        self._initiate_view_change(round_number, self._stalled_phase(state))
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_round_timeout(round_number),
+        )
+
+    def _stalled_phase(self, state: RoundState) -> str:
+        if state.revealed_digests:
+            return Phase.REVEAL.value
+        if state.committed_digests:
+            return Phase.COMMIT.value
+        if state.proposals:
+            return Phase.VOTE.value
+        return Phase.PROPOSE.value
+
+    def _round_evidence(self, state: RoundState) -> FrozenSet[SignedStatement]:
+        """All value signatures this replica holds for the round."""
+        held: Set[SignedStatement] = set()
+        for message in state.proposals.values():
+            held.add(message.statement)
+        for by_signer in state.votes.values():
+            held.update(by_signer.values())
+        for by_signer in state.commits.values():
+            held.update(by_signer.values())
+        return frozenset(held)
+
+    def _initiate_view_change(self, round_number: int, stalled_phase: str) -> None:
+        state = self.round_state(round_number)
+        if state.view_change_sent or state.finalized:
+            return
+        state.view_change_sent = True
+        statement = make_statement(
+            self.keypair, Phase.VIEW_CHANGE.value, round_number, stalled_phase
+        )
+        if self.config.view_change_evidence:
+            evidence = frozenset(
+                self.strategy.filter_evidence(self, self._round_evidence(state))
+            )
+        else:
+            evidence = frozenset()
+        message = ViewChangeMessage(statement=statement, evidence=evidence)
+        self.trace("view_change_sent", round=round_number, phase=stalled_phase)
+        self.broadcast(
+            message,
+            message_type="view-change",
+            size_bytes=message.size_bytes,
+            round_number=round_number,
+            phase=Phase.VIEW_CHANGE.value,
+        )
+
+    def _view_change_quorum(self) -> int:
+        """View change always uses n − t0, independent of τ overrides."""
+        return self.config.n - self.config.t0
+
+    def _on_view_change(self, sender: int, message: ViewChangeMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if statement.phase != Phase.VIEW_CHANGE.value or statement.signer != sender:
+            return
+        if not verify_statement(self.ctx.registry, statement):
+            return
+        for evidence_statement in message.evidence:
+            if verify_statement(self.ctx.registry, evidence_statement):
+                self._absorb_statement(evidence_statement)
+        state.view_changes[sender] = statement
+        if state.commit_view_sent or state.finalized:
+            return
+        if len(state.view_changes) >= self._view_change_quorum():
+            self._send_commit_view(state, frozenset(state.view_changes.values()))
+
+    def _send_commit_view(self, state: RoundState, justification: FrozenSet[SignedStatement]) -> None:
+        if state.commit_view_sent:
+            return
+        state.commit_view_sent = True
+        state.view_committed = True
+        statement = make_statement(self.keypair, Phase.COMMIT_VIEW.value, state.number, "")
+        message = CommitViewMessage(statement=statement, view_changes=justification)
+        self.trace("commit_view_sent", round=state.number)
+        self.broadcast(
+            message,
+            message_type="commit-view",
+            size_bytes=message.size_bytes,
+            round_number=state.number,
+            phase=Phase.COMMIT_VIEW.value,
+        )
+
+    def _on_commit_view(self, sender: int, message: CommitViewMessage) -> None:
+        round_number = message.round_number
+        state = self.round_state(round_number)
+        statement = message.statement
+        if statement.phase != Phase.COMMIT_VIEW.value or statement.signer != sender:
+            return
+        if not verify_statement(self.ctx.registry, statement):
+            return
+        signers = set()
+        for vc_statement in message.view_changes:
+            if vc_statement.phase != Phase.VIEW_CHANGE.value:
+                return
+            if vc_statement.round_number != round_number:
+                return
+            if not verify_statement(self.ctx.registry, vc_statement):
+                return
+            signers.add(vc_statement.signer)
+        if len(signers) < self._view_change_quorum():
+            return
+        state.commit_views[sender] = message
+        if not state.commit_view_sent and not state.finalized:
+            self._send_commit_view(state, message.view_changes)
+        if len(state.commit_views) >= self._view_change_quorum() and not state.finalized:
+            self.trace("view_change_committed", round=round_number)
+            self._abort_round(state)
+
+
+def prft_factory(player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> PRFTReplica:
+    """Factory for :func:`repro.protocols.runner.run_consensus`."""
+    return PRFTReplica(player, config, ctx)

@@ -1,0 +1,39 @@
+"""Simulated cryptographic substrate.
+
+The paper assumes a PKI with unforgeable digital signatures (verified
+against a trusted-setup key registry) and a collision-resistant hash
+used to identify blocks.  This package provides a *simulation-grade*
+realisation of those assumptions:
+
+- :class:`~repro.crypto.keys.KeyPair` — a per-player signing key.
+- :class:`~repro.crypto.registry.KeyRegistry` — the trusted setup of
+  Section 3.3: every player's verification key, shared before the
+  protocol starts.
+- :class:`~repro.crypto.signatures.Signature` and the
+  :func:`~repro.crypto.signatures.sign` /
+  :func:`~repro.crypto.signatures.verify` pair — HMAC-style signatures
+  that are unforgeable for any party that does not hold the secret.
+- :mod:`~repro.crypto.hashing` — canonical serialisation and hashing of
+  protocol values (blocks, messages).
+
+These primitives are deterministic and dependency-free, which keeps
+simulation runs reproducible while preserving exactly the properties
+the paper's analysis relies on: signatures attribute messages to
+players, cannot be forged, and hashes bind block contents.
+"""
+
+from repro.crypto.hashing import digest_hex, hash_value
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, sign, verify
+
+__all__ = [
+    "KeyPair",
+    "KeyRegistry",
+    "Signature",
+    "digest_hex",
+    "generate_keypair",
+    "hash_value",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,67 @@
+"""Canonical serialisation and hashing of protocol values.
+
+Protocol messages and blocks must be hashed consistently across
+replicas.  Python's built-in ``hash`` is salted per process, so we
+serialise values into a canonical byte string and digest it with
+SHA-256.  Any value built from the JSON-ish universe (``None``, bools,
+ints, floats, strings, bytes, tuples/lists, dicts with sortable keys,
+and dataclass-like objects exposing ``canonical()``) can be hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_SEPARATOR = b"\x1f"
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialise ``value`` into a canonical, type-tagged byte string.
+
+    The encoding is injective on the supported universe: two distinct
+    values never serialise to the same bytes, which gives us
+    collision-resistance of :func:`hash_value` up to SHA-256.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"S" + str(len(encoded)).encode() + _SEPARATOR + encoded
+    if isinstance(value, bytes):
+        return b"Y" + str(len(value)).encode() + _SEPARATOR + value
+    if isinstance(value, (tuple, list)):
+        parts = [canonical_bytes(item) for item in value]
+        body = _SEPARATOR.join(parts)
+        return b"T" + str(len(parts)).encode() + _SEPARATOR + body
+    if isinstance(value, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in value)
+        body = _SEPARATOR.join(parts)
+        return b"E" + str(len(parts)).encode() + _SEPARATOR + body
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_bytes(key), canonical_bytes(val))
+            for key, val in value.items()
+        )
+        body = _SEPARATOR.join(key + _SEPARATOR + val for key, val in items)
+        return b"D" + str(len(items)).encode() + _SEPARATOR + body
+    canonical = getattr(value, "canonical", None)
+    if callable(canonical):
+        return b"O" + canonical_bytes(canonical())
+    raise TypeError(f"cannot canonically serialise {type(value).__name__}")
+
+
+def hash_value(value: Any) -> str:
+    """Return the hex SHA-256 digest of ``value``'s canonical bytes."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()
+
+
+def digest_hex(data: bytes) -> str:
+    """Return the hex SHA-256 digest of raw ``data``."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,52 @@
+"""Per-player signing keys for the simulated PKI.
+
+A :class:`KeyPair` binds a player id to a secret.  Only the holder of
+the :class:`KeyPair` object can produce signatures that verify against
+the player's entry in the :class:`~repro.crypto.registry.KeyRegistry`;
+this models unforgeability (Section 3.3 of the paper) without real
+public-key cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def _derive_secret(player_id: int, seed: str) -> bytes:
+    material = f"repro-secret|{seed}|{player_id}".encode()
+    return hashlib.sha256(material).digest()
+
+
+def _derive_public(secret: bytes) -> str:
+    return hashlib.sha256(b"repro-public|" + secret).hexdigest()
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A player's signing key pair.
+
+    Attributes:
+        player_id: the integer identity of the owning player.
+        secret: the signing secret; never shared with other players.
+        public: the verification key registered during trusted setup.
+    """
+
+    player_id: int
+    secret: bytes = field(repr=False)
+    public: str
+
+    def __post_init__(self) -> None:
+        if _derive_public(self.secret) != self.public:
+            raise ValueError("public key does not match secret")
+
+
+def generate_keypair(player_id: int, seed: str = "default") -> KeyPair:
+    """Deterministically generate the key pair for ``player_id``.
+
+    Determinism keeps simulation runs reproducible; the ``seed``
+    namespaces independent deployments so keys from one simulated
+    system cannot be replayed into another.
+    """
+    secret = _derive_secret(player_id, seed)
+    return KeyPair(player_id=player_id, secret=secret, public=_derive_public(secret))

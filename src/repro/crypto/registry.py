@@ -1,0 +1,72 @@
+"""Trusted-setup key registry (Section 3.3 of the paper).
+
+Before the protocol starts, all players share their public keys via a
+trusted broadcast.  The :class:`KeyRegistry` models the result: a map
+from player id to verification material that every replica consults
+when validating signed messages.  Invalid signatures are discarded at
+the ``Recv`` boundary, exactly as the paper's protocol figure assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.crypto.signatures import Signature, verify
+
+
+class KeyRegistry:
+    """The shared PKI produced by the trusted setup.
+
+    The registry keeps the *derivation* material needed to check tags.
+    In a real deployment this would be a public key; here it is the
+    secret itself, held by the registry only (players hold their own
+    :class:`KeyPair`; adversaries never read the registry's internals,
+    they can only call :meth:`verify`).
+    """
+
+    def __init__(self, seed: str = "default") -> None:
+        self._seed = seed
+        self._keys: Dict[int, KeyPair] = {}
+
+    @classmethod
+    def trusted_setup(cls, player_ids: Iterable[int], seed: str = "default") -> "KeyRegistry":
+        """Run the trusted setup for ``player_ids`` and return the registry."""
+        registry = cls(seed=seed)
+        for player_id in player_ids:
+            registry.register(player_id)
+        return registry
+
+    def register(self, player_id: int) -> KeyPair:
+        """Register ``player_id`` and return its key pair (given to the player)."""
+        if player_id in self._keys:
+            raise ValueError(f"player {player_id} already registered")
+        keypair = generate_keypair(player_id, seed=self._seed)
+        self._keys[player_id] = keypair
+        return keypair
+
+    def keypair_of(self, player_id: int) -> KeyPair:
+        """Return the key pair of ``player_id`` (the player's own view)."""
+        return self._keys[player_id]
+
+    def known_players(self) -> List[int]:
+        """Return the ids of all registered players, sorted."""
+        return sorted(self._keys)
+
+    def __contains__(self, player_id: int) -> bool:
+        return player_id in self._keys
+
+    def verify(self, signature: Signature, value: Any) -> bool:
+        """Check that ``signature`` is a valid signature on ``value``.
+
+        Returns ``False`` for unknown signers or forged tags; protocol
+        code treats such messages as if they were never received.
+        """
+        keypair = self._keys.get(signature.signer)
+        if keypair is None:
+            return False
+        return verify(keypair.secret, signature, value)
+
+    def verify_all(self, signatures: Iterable[Signature], value: Any) -> bool:
+        """Check every signature in ``signatures`` against ``value``."""
+        return all(self.verify(signature, value) for signature in signatures)

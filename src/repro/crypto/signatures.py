@@ -1,0 +1,59 @@
+"""HMAC-style simulated digital signatures.
+
+A signature over a value is the SHA-256 of ``secret || canonical(value)``
+tagged with the signer's id.  A party that does not hold the signer's
+secret cannot produce a verifying tag (up to SHA-256 preimage
+resistance), which is exactly the unforgeability property the paper's
+accountability analysis needs: a Proof-of-Fraud is convincing because
+only the deviating player could have signed the conflicting messages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.keys import KeyPair
+
+
+@dataclass(frozen=True, order=True)
+class Signature:
+    """A signature tag attributable to ``signer``.
+
+    ``Signature`` objects are hashable and ordered so they can be
+    stored in quorum sets and serialised deterministically.
+    """
+
+    signer: int
+    tag: str
+
+    def canonical(self) -> Any:
+        return ("sig", self.signer, self.tag)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of one signature in the message-size accounting model.
+
+        The paper reports message sizes as multiples of the security
+        parameter κ; we charge κ = 32 bytes per signature.
+        """
+        return 32
+
+
+def sign(keypair: KeyPair, value: Any) -> Signature:
+    """Sign ``value`` with ``keypair`` and return the signature."""
+    material = keypair.secret + b"|" + canonical_bytes(value)
+    return Signature(signer=keypair.player_id, tag=hashlib.sha256(material).hexdigest())
+
+
+def verify(public_key_secret_check: bytes, signature: Signature, value: Any) -> bool:
+    """Low-level verification against the signer's secret material.
+
+    Prefer :meth:`repro.crypto.registry.KeyRegistry.verify`, which
+    looks the signer up in the trusted setup.  This function exists so
+    the registry can share one implementation with the tests.
+    """
+    material = public_key_secret_check + b"|" + canonical_bytes(value)
+    return signature.tag == hashlib.sha256(material).hexdigest()

@@ -1,0 +1,70 @@
+"""Rational player types θ and the payoff function f(σ, θ) of Table 2.
+
++--------+-------+-------+--------+------+
+| θ      | σ_NP  | σ_CP  | σ_Fork | σ_0  |
++--------+-------+-------+--------+------+
+| θ = 3  |  α    |  α    |   α    |  0   |
+| θ = 2  | −α    |  α    |   α    |  0   |
+| θ = 1  | −α    | −α    |   α    |  0   |
+| θ = 0  | −α    | −α    |  −α    |  0   |
++--------+-------+-------+--------+------+
+
+θ=3 players profit from any disruption including denial of service;
+θ=2 from censorship or forks; θ=1 only from forks; θ=0 players are
+aligned with honest execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.gametheory.states import SystemState
+
+
+class PlayerType(enum.IntEnum):
+    """The θ of a rational player (Section 4.1.1).
+
+    The names describe the *most severe* attack the type profits from.
+    """
+
+    ALIGNED = 0
+    FORK_SEEKING = 1
+    CENSORSHIP_SEEKING = 2
+    LIVENESS_ATTACKING = 3
+
+
+_GAINFUL_STATES: Dict[PlayerType, frozenset] = {
+    PlayerType.ALIGNED: frozenset(),
+    PlayerType.FORK_SEEKING: frozenset({SystemState.FORK}),
+    PlayerType.CENSORSHIP_SEEKING: frozenset({SystemState.FORK, SystemState.CENSORSHIP}),
+    PlayerType.LIVENESS_ATTACKING: frozenset(
+        {SystemState.FORK, SystemState.CENSORSHIP, SystemState.NO_PROGRESS}
+    ),
+}
+
+
+def payoff(state: SystemState, theta: PlayerType, alpha: float = 1.0) -> float:
+    """f(σ, θ): the per-round payoff of Table 2.
+
+    Honest execution pays 0 to every type; attack states pay +α to
+    types that profit from them and −α to types that do not.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if state is SystemState.HONEST:
+        return 0.0
+    if state in _GAINFUL_STATES[PlayerType(theta)]:
+        return alpha
+    return -alpha
+
+
+def worst_type(types: "list[PlayerType]") -> PlayerType:
+    """The effective type of a mixed rational set (Section 4.1.1).
+
+    If rational players have several types, security is analysed for
+    the worst among them: θ = max{i | K_i ≠ ∅}.
+    """
+    if not types:
+        return PlayerType.ALIGNED
+    return PlayerType(max(int(theta) for theta in types))

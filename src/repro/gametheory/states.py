@@ -1,0 +1,75 @@
+"""System states σ and the classifier from execution outcomes to states.
+
+Section 4.1.1 defines four states of the distributed system:
+
+- σ_NP  (No Progress): no new blocks are confirmed;
+- σ_CP  (Conditional Progress): blocks are confirmed but censored
+  transactions (the set Z) never appear;
+- σ_Fork (Disagreement): two honest players confirm different blocks
+  at the same height;
+- σ_0   (Honest Execution): correctness and liveness both hold.
+
+The classifier inspects honest players' chains (never adversary
+state): forks dominate, then lack of progress, then censorship.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Set
+
+from repro.ledger.chain import Chain
+from repro.ledger.validation import chains_agree
+
+
+class SystemState(enum.Enum):
+    """The σ states of Table 2."""
+
+    NO_PROGRESS = "sigma_NP"
+    CENSORSHIP = "sigma_CP"
+    FORK = "sigma_Fork"
+    HONEST = "sigma_0"
+
+
+def classify_state(
+    honest_chains: Dict[int, Chain],
+    censored_tx_ids: Optional[Iterable[str]] = None,
+    final_only: bool = True,
+) -> SystemState:
+    """Classify the system state from honest players' chains.
+
+    Args:
+        honest_chains: chain per *honest* player id.
+        censored_tx_ids: the set Z of transactions that were input to
+            all honest players; if any is absent from every chain while
+            the system made progress, the state is σ_CP.
+        final_only: classify over finalised blocks (the default — the
+            paper's states concern *confirmed* blocks).
+
+    Returns:
+        The most severe applicable :class:`SystemState`:
+        fork ≻ no-progress ≻ censorship ≻ honest execution.
+    """
+    if not honest_chains:
+        raise ValueError("need at least one honest chain to classify")
+
+    if not chains_agree(honest_chains, final_only=final_only):
+        return SystemState.FORK
+
+    def confirmed_length(chain: Chain) -> int:
+        return len(chain.final_blocks()) if final_only else len(chain)
+
+    if all(confirmed_length(chain) == 0 for chain in honest_chains.values()):
+        return SystemState.NO_PROGRESS
+
+    censored: Set[str] = set(censored_tx_ids or ())
+    if censored:
+        for tx_id in sorted(censored):
+            included_somewhere = any(
+                chain.contains_transaction(tx_id, final_only=final_only)
+                for chain in honest_chains.values()
+            )
+            if not included_somewhere:
+                return SystemState.CENSORSHIP
+
+    return SystemState.HONEST

@@ -1,0 +1,218 @@
+"""The baiting game underlying TRAP and Theorem 3's insecure equilibrium.
+
+Section 3.4 describes baiting-based consensus (Ranchal-Pedrosa &
+Gramoli's TRAP): a collusion of k rational and t byzantine players can
+fork the system for a shared gain G (each rational colluder receiving
+G/k); any rational player may instead *bait* — submit a Proof-of-Fraud
+of t0+1 conflicting signatures — and, if enough players bait, one of
+the m baiters is randomly awarded the reward R, while exposed colluders
+lose their deposit L.
+
+The fork fails only if the number of baiters m exceeds the threshold
+derived in Appendix D:
+
+    m  >  t0 + (k + t − n) / 2
+
+Theorem 3: when that threshold exceeds 1 — equivalently |K| > 2+t0−t at
+t0 = ⌈n/3⌉−1 — "everyone forks" is a Nash equilibrium of the stage
+game (a unilateral baiter cannot stop the fork and forfeits its G/k),
+and under a grim-trigger repetition it Pareto-dominates the baiting
+equilibrium, making the *insecure* equilibrium focal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.gametheory.normal_form import NormalFormGame, Profile
+from repro.gametheory.utility import geometric_utility
+
+FORK = "fork"
+BAIT = "bait"
+
+
+@dataclass(frozen=True)
+class TrapGameParameters:
+    """Parameters of the baiting game.
+
+    Attributes:
+        n: total players.
+        t: byzantine players in the collusion.
+        k: rational players (all initially in the collusion).
+        t0: the protocol's byzantine tolerance bound (⌈n/3⌉−1 in
+            Theorem 3's setting).
+        reward: R, paid to one randomly selected baiter when baiting
+            defeats the fork.
+        deposit: L, the collateral an exposed colluder loses.
+        fork_gain: G, the collusion's total gain from disagreement.
+    """
+
+    n: int
+    t: int
+    k: int
+    t0: int
+    reward: float = 5.0
+    deposit: float = 10.0
+    fork_gain: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.k <= 0 or self.t < 0 or self.t0 < 0:
+            raise ValueError("need n > 0, k > 0, t >= 0, t0 >= 0")
+        if self.t + self.k >= self.n:
+            raise ValueError("collusion must be a strict minority of players")
+        if min(self.reward, self.deposit, self.fork_gain) < 0:
+            raise ValueError("reward, deposit and fork_gain must be non-negative")
+
+    @classmethod
+    def theorem3_setting(cls, n: int, t: int, k: int, **economics: float) -> "TrapGameParameters":
+        """Parameters with t0 = ⌈n/3⌉ − 1, as in Theorem 3."""
+        return cls(n=n, t=t, k=k, t0=math.ceil(n / 3) - 1, **economics)
+
+    # ------------------------------------------------------------------
+    # Structural quantities
+    # ------------------------------------------------------------------
+    @property
+    def bait_threshold(self) -> float:
+        """The exact bound from Appendix D: forks fail iff m > this."""
+        return self.t0 + (self.k + self.t - self.n) / 2.0
+
+    @property
+    def min_baiters_to_prevent_fork(self) -> int:
+        """Smallest integer m with m > bait_threshold (at least 1)."""
+        threshold = self.bait_threshold
+        smallest = math.floor(threshold) + 1
+        return max(1, smallest)
+
+    def fork_succeeds(self, baiters: int) -> bool:
+        """Does the collusion still fork when ``baiters`` players bait?"""
+        if baiters < 0 or baiters > self.k:
+            raise ValueError("baiters must lie in [0, k]")
+        return baiters < self.min_baiters_to_prevent_fork
+
+    @property
+    def all_fork_is_nash(self) -> bool:
+        """Is "everyone forks" a Nash equilibrium of the stage game?
+
+        Two routes make it one:
+
+        - **Theorem 3's structural route**: when
+          ``min_baiters_to_prevent_fork > 1`` a unilateral baiter
+          cannot stop the fork, so deviating trades the colluder share
+          G/k for 0 — no reward R, however large, fixes this.
+        - **The economic route**: even when one baiter *would* stop
+          the fork, deviating only pays if R exceeds the colluder
+          share, so for R ≤ G/k all-fork remains an equilibrium.
+
+        The paper's theorem concerns the first route (it holds for
+        every reward choice, which is what breaks baiting-based
+        incentive design).
+        """
+        if self.min_baiters_to_prevent_fork > 1:
+            return True
+        return self.reward <= self.fork_gain / self.k
+
+    # ------------------------------------------------------------------
+    # Stage-game payoffs
+    # ------------------------------------------------------------------
+    def stage_payoff(self, strategy: str, baiters: int) -> float:
+        """Payoff of one rational player given total baiter count.
+
+        The player's own choice is counted inside ``baiters`` if it
+        baits.  Payoffs follow Section 3.4 / Theorem 3's proof:
+
+        - fork succeeds: colluders share G (G/k each); baiters get 0;
+        - fork defeated: baiters expect R/m (one of m drawn for R);
+          exposed colluders lose the deposit L.
+        """
+        if strategy not in (FORK, BAIT):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        succeeded = self.fork_succeeds(baiters)
+        if strategy == BAIT:
+            if baiters <= 0:
+                raise ValueError("a baiting player implies baiters >= 1")
+            return 0.0 if succeeded else self.reward / baiters
+        return self.fork_gain / self.k if succeeded else -self.deposit
+
+
+def build_baiting_game(params: TrapGameParameters) -> NormalFormGame:
+    """The k-player stage game with strategies {fork, bait}.
+
+    Byzantine players always fork (they are strategy-fixed), so only
+    the k rational players are modelled as players of the game.
+    """
+
+    def payoff(profile: Profile) -> Tuple[float, ...]:
+        baiters = sum(1 for strategy in profile if strategy == BAIT)
+        return tuple(params.stage_payoff(strategy, baiters) for strategy in profile)
+
+    names = [f"K{i}" for i in range(params.k)]
+    strategies = [(FORK, BAIT)] * params.k
+    return NormalFormGame(names, strategies, payoff)
+
+
+def stage_equilibria(params: TrapGameParameters) -> List[Profile]:
+    """All pure Nash equilibria of the stage game (exhaustive for small k)."""
+    return build_baiting_game(params).pure_nash_equilibria()
+
+
+def repeated_game_utilities(
+    params: TrapGameParameters,
+    delta: float,
+) -> Dict[str, float]:
+    """Discounted utilities of the two candidate equilibrium paths.
+
+    - ``all_fork``: the collusion forks every round under grim trigger,
+      earning G/k per round: (G/k) / (1 − δ).
+    - ``bait_once``: a *unilateral* deviation to baiting in round 0.
+      In the theorem's regime a lone baiter cannot stop the fork, so
+      it earns 0 and, by grim trigger, is expelled from the collusion
+      (continuation 0).  Outside the regime a lone baiter defeats the
+      fork and wins the full reward R once.
+    - ``bait_coordinated``: the off-path value if the minimum stopping
+      coalition of m baiters forms: R/m expected, once.
+    - ``honest``: following π0 forever: 0.
+
+    Theorem 3's focality argument is exactly
+    ``all_fork > bait_once``: per-round G/k forever against a one-shot
+    deviation that, in the regime, pays nothing at all.
+    """
+    m = params.min_baiters_to_prevent_fork
+    all_fork = geometric_utility(params.fork_gain / params.k, delta)
+    bait_once = 0.0 if m > 1 else params.reward
+    bait_coordinated = params.reward / m if m <= params.k else 0.0
+    return {
+        "all_fork": all_fork,
+        "bait_once": bait_once,
+        "bait_coordinated": bait_coordinated,
+        "honest": 0.0,
+    }
+
+
+def insecure_equilibrium_is_focal(params: TrapGameParameters, delta: float) -> bool:
+    """Does the fork equilibrium Pareto-dominate baiting in repetition?
+
+    This is the operative statement of Theorem 3: for
+    |K| > 2 + t0 − t the all-fork path is a Nash equilibrium *and*
+    yields every rational player strictly more than the baiting path,
+    making it focal and the protocol insecure.
+    """
+    if not params.all_fork_is_nash:
+        return False
+    utilities = repeated_game_utilities(params, delta)
+    return utilities["all_fork"] > utilities["bait_once"]
+
+
+def theorem3_condition_holds(params: TrapGameParameters) -> bool:
+    """Theorem 3's cardinality condition, in the appendix's derivation.
+
+    Appendix D derives that a unilateral baiter is insufficient exactly
+    when k ≥ n − 2·t0 − t + 2 (equivalently, the bait threshold
+    t0 + (k + t − n)/2 is at least 1, i.e.
+    ``min_baiters_to_prevent_fork > 1``).  The theorem statement's
+    shorthand "|K| > 2 + t0 − t" is this inequality specialised to
+    n = 3·t0 + 1 (up to the paper's off-by-one informality); we use
+    the exact partition arithmetic.
+    """
+    return params.k >= params.n - 2 * params.t0 - params.t + 2

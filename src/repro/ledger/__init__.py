@@ -1,0 +1,43 @@
+"""Ledger substrate: transactions, blocks, chains, collateral.
+
+The agreed-upon value in each consensus round is a block of
+transactions chaining to its parent (Section 3.1).  This package
+provides:
+
+- :class:`~repro.ledger.transaction.Transaction` and
+  :class:`~repro.ledger.block.Block` — the values players agree on;
+- :class:`~repro.ledger.mempool.Mempool` — each player's pending
+  transactions, with censorship hooks for the θ=2 experiments;
+- :class:`~repro.ledger.chain.Chain` — a player's local ledger with
+  *tentative* and *final* confirmation states and rollback, following
+  the paper's Algorand-style two-level finality (Section 5.3.2);
+- :mod:`~repro.ledger.validation` — the common-prefix and c-strict-
+  ordering predicates from Definitions 1 and the Section 3.1 notation;
+- :class:`~repro.ledger.collateral.CollateralRegistry` — the deposit
+  L per player, burned when a verified Proof-of-Fraud names them
+  (Section 5.3.1).
+"""
+
+from repro.ledger.block import Block, genesis_block
+from repro.ledger.chain import Chain, ConfirmationStatus
+from repro.ledger.collateral import CollateralRegistry
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import Transaction
+from repro.ledger.validation import (
+    chains_agree,
+    common_prefix_holds,
+    strict_ordering_holds,
+)
+
+__all__ = [
+    "Block",
+    "Chain",
+    "CollateralRegistry",
+    "ConfirmationStatus",
+    "Mempool",
+    "Transaction",
+    "chains_agree",
+    "common_prefix_holds",
+    "genesis_block",
+    "strict_ordering_holds",
+]

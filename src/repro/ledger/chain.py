@@ -1,0 +1,143 @@
+"""A player's local ledger with two-level (tentative/final) confirmation.
+
+pRFT, like Algorand, first reaches *tentative* consensus (after the
+commit quorum) and later *final* consensus (after the reveal phase
+shows at most t0 double-signers, or a majority of Final messages).
+Tentative blocks may be rolled back if adversarial behaviour surfaces;
+final blocks never are.  A tentative block is also implicitly finalised
+when a later block on top of it finalises (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ledger.block import Block, genesis_block
+
+
+class ConfirmationStatus(enum.Enum):
+    """Confirmation level of a block on a local chain."""
+
+    TENTATIVE = "tentative"
+    FINAL = "final"
+
+
+@dataclass
+class _Entry:
+    block: Block
+    status: ConfirmationStatus
+
+
+class Chain:
+    """An append-only (up to tentative rollback) sequence of blocks."""
+
+    def __init__(self) -> None:
+        self._entries: List[_Entry] = [
+            _Entry(block=genesis_block(), status=ConfirmationStatus.FINAL)
+        ]
+        self._height_by_digest: Dict[str, int] = {self._entries[0].block.digest: 0}
+
+    # ------------------------------------------------------------------
+    # Growing and finalising
+    # ------------------------------------------------------------------
+    def head(self) -> Block:
+        """The most recent block (tentative or final)."""
+        return self._entries[-1].block
+
+    def append_tentative(self, block: Block) -> None:
+        """Append ``block`` as tentative; it must chain to the head."""
+        if block.parent_digest != self.head().digest:
+            raise ValueError(
+                f"block parent {block.parent_digest[:8]} does not match "
+                f"head {self.head().digest[:8]}"
+            )
+        if block.digest in self._height_by_digest:
+            raise ValueError("block already on chain")
+        self._entries.append(_Entry(block=block, status=ConfirmationStatus.TENTATIVE))
+        self._height_by_digest[block.digest] = len(self._entries) - 1
+
+    def finalize(self, digest: str) -> None:
+        """Mark the block with ``digest`` final, and with it every ancestor.
+
+        A final block finalises its whole prefix: the paper treats a
+        tentative block as finalised once a finalised block follows it.
+        """
+        height = self._height_by_digest.get(digest)
+        if height is None:
+            raise KeyError(f"no block {digest[:8]} on this chain")
+        for entry in self._entries[: height + 1]:
+            entry.status = ConfirmationStatus.FINAL
+
+    def rollback_tentative(self) -> List[Block]:
+        """Drop every tentative suffix block; return the dropped blocks."""
+        dropped: List[Block] = []
+        while self._entries and self._entries[-1].status is ConfirmationStatus.TENTATIVE:
+            entry = self._entries.pop()
+            del self._height_by_digest[entry.block.digest]
+            dropped.append(entry.block)
+        dropped.reverse()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of blocks excluding genesis."""
+        return len(self._entries) - 1
+
+    def height_of(self, digest: str) -> Optional[int]:
+        return self._height_by_digest.get(digest)
+
+    def block_at(self, height: int) -> Block:
+        """The block at ``height`` (genesis is height 0)."""
+        return self._entries[height].block
+
+    def status_at(self, height: int) -> ConfirmationStatus:
+        return self._entries[height].status
+
+    def status_of(self, digest: str) -> Optional[ConfirmationStatus]:
+        height = self._height_by_digest.get(digest)
+        if height is None:
+            return None
+        return self._entries[height].status
+
+    def blocks(self, include_genesis: bool = False) -> List[Block]:
+        """All blocks bottom-up (excluding genesis by default)."""
+        start = 0 if include_genesis else 1
+        return [entry.block for entry in self._entries[start:]]
+
+    def final_blocks(self, include_genesis: bool = False) -> List[Block]:
+        """The finalised prefix, bottom-up."""
+        start = 0 if include_genesis else 1
+        return [
+            entry.block
+            for entry in self._entries[start:]
+            if entry.status is ConfirmationStatus.FINAL
+        ]
+
+    def final_height(self) -> int:
+        """Height of the highest final block (0 = only genesis final)."""
+        for height in range(len(self._entries) - 1, -1, -1):
+            if self._entries[height].status is ConfirmationStatus.FINAL:
+                return height
+        return 0
+
+    def without_last(self, count: int) -> List[Block]:
+        """The chain C^{⌊count} — all blocks minus the ``count`` newest.
+
+        This is the ⌊z operator from Section 3.1's common-prefix
+        property and Definition 1's c-strict ordering.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        blocks = self.blocks(include_genesis=True)
+        if count == 0:
+            return blocks
+        return blocks[:-count]
+
+    def contains_transaction(self, tx_id: str, final_only: bool = False) -> bool:
+        """True if some (final, if requested) block includes ``tx_id``."""
+        blocks = self.final_blocks() if final_only else self.blocks()
+        return any(block.contains(tx_id) for block in blocks)

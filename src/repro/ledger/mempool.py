@@ -1,0 +1,67 @@
+"""Pending-transaction pools with censorship hooks.
+
+Every player holds a mempool of transactions awaiting inclusion.  An
+honest leader proposes the oldest pending transactions; a censoring
+leader (strategy π_pc, Theorem 2) filters a target set Z out of its
+proposals.  The mempool also tracks inclusion so repeated rounds do not
+re-propose confirmed transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.ledger.transaction import Transaction
+
+
+class Mempool:
+    """Ordered pool of pending transactions."""
+
+    def __init__(self) -> None:
+        self._pending: List[Transaction] = []
+        self._known_ids: Set[str] = set()
+        self._included_ids: Set[str] = set()
+
+    def submit(self, transaction: Transaction) -> bool:
+        """Add a transaction; duplicates (by id) are ignored."""
+        if transaction.tx_id in self._known_ids:
+            return False
+        self._known_ids.add(transaction.tx_id)
+        if transaction.tx_id not in self._included_ids:
+            self._pending.append(transaction)
+        return True
+
+    def submit_all(self, transactions: Iterable[Transaction]) -> int:
+        """Submit many; returns how many were new."""
+        return sum(1 for tx in transactions if self.submit(tx))
+
+    def mark_included(self, tx_ids: Iterable[str]) -> None:
+        """Record that these transactions reached the ledger."""
+        ids = set(tx_ids)
+        self._included_ids |= ids
+        self._pending = [tx for tx in self._pending if tx.tx_id not in ids]
+
+    def select(
+        self,
+        limit: int,
+        censor: Optional[Set[str]] = None,
+    ) -> List[Transaction]:
+        """Pick up to ``limit`` pending transactions, oldest first.
+
+        ``censor`` is the set Z of transaction ids a deviating leader
+        refuses to include; honest leaders pass None.
+        """
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        banned = censor or set()
+        selected = [tx for tx in self._pending if tx.tx_id not in banned]
+        return selected[:limit]
+
+    def pending_ids(self) -> List[str]:
+        return [tx.tx_id for tx in self._pending]
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return any(tx.tx_id == tx_id for tx in self._pending)

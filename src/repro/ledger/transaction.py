@@ -1,0 +1,31 @@
+"""Transactions: the content of agreed-upon blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.crypto.hashing import hash_value
+
+
+@dataclass(frozen=True, order=True)
+class Transaction:
+    """A state change submitted by a client.
+
+    ``tx_id`` is the client-chosen identifier (the paper's tx_h in
+    Theorem 2 is simply a distinguished id); ``payload`` is opaque.
+    ``submitted_at`` is the virtual time the transaction entered the
+    system, used by the censorship-resistance checker to know from when
+    the eventual-inclusion clock runs.
+    """
+
+    tx_id: str
+    payload: str = ""
+    submitted_at: float = 0.0
+
+    def canonical(self) -> Tuple[Any, ...]:
+        return ("tx", self.tx_id, self.payload)
+
+    @property
+    def digest(self) -> str:
+        return hash_value(self)

@@ -1,0 +1,41 @@
+"""Network substrate: reliable channels under three synchrony models.
+
+The paper (Section 3.3 and Appendix A.3) assumes reliable authenticated
+channels — messages are never lost or tampered with, but may be
+delayed — under one of three synchrony flavours:
+
+- **synchronous**: every delay is bounded by a known Δ_sync;
+- **asynchronous**: delays are finite but unbounded;
+- **partially synchronous** (Dwork-Lynch-Stockmeyer): the network is
+  asynchronous until an unknown Global Stabilization Time (GST), after
+  which delays are bounded.
+
+:class:`~repro.net.network.Network` is the message bus: it applies the
+configured :class:`~repro.net.delays.DelayModel`, honours the active
+:class:`~repro.net.partition.PartitionSchedule` (messages across a
+partition are deferred until the partition heals — reliable channels
+mean delayed, never dropped), and records metrics/trace entries.
+"""
+
+from repro.net.delays import (
+    AsynchronousDelay,
+    DelayModel,
+    FixedDelay,
+    PartialSynchronyDelay,
+    SynchronousDelay,
+)
+from repro.net.envelope import Envelope
+from repro.net.network import Network
+from repro.net.partition import Partition, PartitionSchedule
+
+__all__ = [
+    "AsynchronousDelay",
+    "DelayModel",
+    "Envelope",
+    "FixedDelay",
+    "Network",
+    "PartialSynchronyDelay",
+    "Partition",
+    "PartitionSchedule",
+    "SynchronousDelay",
+]

@@ -1,0 +1,134 @@
+"""Delay models realising the three synchrony flavours.
+
+Each model maps (sender, recipient, send-time) to a delivery delay.
+Randomness comes from a seeded ``random.Random`` owned by the model, so
+identical configurations give identical executions.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class DelayModel(ABC):
+    """Maps a send to a delivery delay (virtual time units)."""
+
+    @abstractmethod
+    def delay(self, sender: int, recipient: int, send_time: float) -> float:
+        """Return the delivery delay for this message."""
+
+    def bound_at(self, time: float) -> float:
+        """The delay bound in force at ``time`` (``inf`` if none).
+
+        Protocols must not read this — partial synchrony means the
+        bound is unknown to the protocol — but checkers and tests use
+        it to reason about when quorums must have formed.
+        """
+        return float("inf")
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delta`` time units.
+
+    The simplest synchronous model; useful for unit tests where exact
+    delivery times matter.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.delta = delta
+
+    def delay(self, sender: int, recipient: int, send_time: float) -> float:
+        return self.delta
+
+    def bound_at(self, time: float) -> float:
+        return self.delta
+
+
+class SynchronousDelay(DelayModel):
+    """Delays drawn uniformly from [min_delay, delta]: bounded by known Δ."""
+
+    def __init__(self, delta: float = 1.0, min_delay: float = 0.1, seed: int = 0) -> None:
+        if not 0 <= min_delay <= delta:
+            raise ValueError("require 0 <= min_delay <= delta")
+        self.delta = delta
+        self.min_delay = min_delay
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: int, recipient: int, send_time: float) -> float:
+        return self._rng.uniform(self.min_delay, self.delta)
+
+    def bound_at(self, time: float) -> float:
+        return self.delta
+
+
+class AsynchronousDelay(DelayModel):
+    """Finite but unbounded delays (heavy-tailed), as in an async network.
+
+    With probability ``spike_probability`` the delay is drawn from a
+    long uniform tail of up to ``spike_scale``; otherwise it behaves
+    like a fast link.  Every delay is finite: messages are always
+    eventually delivered, per the reliable-channel assumption.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 1.0,
+        spike_probability: float = 0.2,
+        spike_scale: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= spike_probability <= 1:
+            raise ValueError("spike_probability must be in [0, 1]")
+        self.base_delay = base_delay
+        self.spike_probability = spike_probability
+        self.spike_scale = spike_scale
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: int, recipient: int, send_time: float) -> float:
+        if self._rng.random() < self.spike_probability:
+            return self._rng.uniform(self.base_delay, self.spike_scale)
+        return self._rng.uniform(0.1, self.base_delay)
+
+
+class PartialSynchronyDelay(DelayModel):
+    """Asynchronous before GST, synchronous (bounded by Δ) after.
+
+    Messages sent before GST suffer adversarially long (but finite)
+    delays of up to ``pre_gst_scale``; any message still in flight is
+    guaranteed delivered by ``GST + delta``.  Messages sent after GST
+    are bounded by ``delta``.  This matches the DLS88 formulation the
+    paper uses.
+    """
+
+    def __init__(
+        self,
+        gst: float,
+        delta: float = 1.0,
+        pre_gst_scale: float = 100.0,
+        seed: int = 0,
+    ) -> None:
+        if gst < 0:
+            raise ValueError("gst must be non-negative")
+        self.gst = gst
+        self.delta = delta
+        self.pre_gst_scale = pre_gst_scale
+        self._rng = random.Random(seed)
+
+    def delay(self, sender: int, recipient: int, send_time: float) -> float:
+        if send_time >= self.gst:
+            return self._rng.uniform(0.1 * self.delta, self.delta)
+        raw = self._rng.uniform(self.delta, self.pre_gst_scale)
+        deliver_at = send_time + raw
+        latest_allowed = self.gst + self.delta
+        if deliver_at > latest_allowed:
+            deliver_at = self._rng.uniform(self.gst, latest_allowed)
+            deliver_at = max(deliver_at, send_time + 0.1 * self.delta)
+        return deliver_at - send_time
+
+    def bound_at(self, time: float) -> float:
+        if time >= self.gst:
+            return self.delta
+        return float("inf")

@@ -1,0 +1,24 @@
+"""The unit the network carries: a typed, size-accounted envelope."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight.
+
+    ``payload`` is a protocol message object; the network never
+    inspects it (channels are tamper-proof).  ``message_type`` and
+    ``size_bytes`` feed the metrics collector; ``round_number`` lets
+    per-round accounting work without parsing payloads.
+    """
+
+    sender: int
+    recipient: int
+    payload: Any
+    message_type: str
+    size_bytes: int
+    round_number: int = -1

@@ -1,0 +1,132 @@
+"""The message bus tying engine, delays, partitions and replicas together.
+
+``Network`` delivers envelopes to registered handlers after the delay
+chosen by the :class:`~repro.net.delays.DelayModel`, deferring
+cross-partition traffic until the partition heals.  Channels are
+reliable and tamper-proof: payloads arrive unmodified, exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.net.delays import DelayModel, FixedDelay
+from repro.net.envelope import Envelope
+from repro.net.partition import PartitionSchedule
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.trace import TraceRecorder
+
+Handler = Callable[[Envelope], None]
+
+
+class Network:
+    """Reliable point-to-point and broadcast delivery with delays."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        delay_model: Optional[DelayModel] = None,
+        partitions: Optional[PartitionSchedule] = None,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._engine = engine
+        self._delay_model = delay_model or FixedDelay()
+        self._partitions = partitions or PartitionSchedule()
+        self.metrics = metrics or MetricsCollector()
+        self.trace = trace or TraceRecorder()
+        self._handlers: Dict[int, Handler] = {}
+
+    @property
+    def engine(self) -> SimulationEngine:
+        return self._engine
+
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay_model
+
+    def register(self, player_id: int, handler: Handler) -> None:
+        """Attach ``handler`` as the inbox of ``player_id``."""
+        if player_id in self._handlers:
+            raise ValueError(f"player {player_id} already registered")
+        self._handlers[player_id] = handler
+
+    def participants(self) -> Iterable[int]:
+        """Ids of all registered players, sorted."""
+        return sorted(self._handlers)
+
+    def send(self, envelope: Envelope) -> None:
+        """Send one envelope; delivery is scheduled on the engine.
+
+        Self-addressed envelopes are delivered with the same delay
+        distribution (a replica's loopback message still takes a hop in
+        the paper's all-to-all broadcasts; this also keeps quorum sizes
+        uniform).
+        """
+        if envelope.recipient not in self._handlers:
+            raise ValueError(f"unknown recipient {envelope.recipient}")
+        now = self._engine.now
+        self.metrics.record_send(envelope.message_type, envelope.size_bytes, envelope.round_number)
+        self.trace.record(
+            now,
+            "send",
+            envelope.sender,
+            recipient=envelope.recipient,
+            message_type=envelope.message_type,
+            round=envelope.round_number,
+        )
+        earliest = self._partitions.heal_time(envelope.sender, envelope.recipient, now)
+        delay = self._delay_model.delay(envelope.sender, envelope.recipient, now)
+        deliver_at = max(now + delay, earliest)
+
+        def deliver() -> None:
+            self.trace.record(
+                self._engine.now,
+                "deliver",
+                envelope.recipient,
+                sender=envelope.sender,
+                message_type=envelope.message_type,
+                round=envelope.round_number,
+            )
+            self._handlers[envelope.recipient](envelope)
+
+        self._engine.schedule_at(
+            deliver_at,
+            deliver,
+            label=f"deliver:{envelope.message_type}:{envelope.sender}->{envelope.recipient}",
+        )
+
+    def broadcast(
+        self,
+        sender: int,
+        payload_for: Callable[[int], Optional[object]],
+        message_type: str,
+        size_bytes: int,
+        round_number: int = -1,
+    ) -> int:
+        """Send to every registered player (including the sender).
+
+        ``payload_for(recipient)`` builds the payload per recipient;
+        returning None skips that recipient.  Per-recipient payloads are
+        what let byzantine players *equivocate* — send conflicting
+        messages to different subsets — while honest players pass a
+        constant function.  Returns the number of envelopes sent.
+        """
+        sent = 0
+        for recipient in self.participants():
+            payload = payload_for(recipient)
+            if payload is None:
+                continue
+            self.send(
+                Envelope(
+                    sender=sender,
+                    recipient=recipient,
+                    payload=payload,
+                    message_type=message_type,
+                    size_bytes=size_bytes,
+                    round_number=round_number,
+                )
+            )
+            sent += 1
+        return sent

@@ -1,0 +1,27 @@
+"""Consensus protocols: shared replica framework and baselines.
+
+- :mod:`~repro.protocols.base` — the protocol-agnostic replica
+  skeleton (configuration, context wiring, signing and broadcast
+  helpers with strategy interception);
+- :mod:`~repro.protocols.runner` — builds a full simulated deployment
+  (engine, network, PKI, collateral, replicas) and runs it to a
+  :class:`~repro.protocols.runner.RunResult`;
+- :mod:`~repro.protocols.pbft` — pBFT (Castro-Liskov) baseline;
+- :mod:`~repro.protocols.hotstuff` — HotStuff-style linear baseline;
+- :mod:`~repro.protocols.polygraph` — Polygraph-style accountable BFT;
+- :mod:`~repro.protocols.trap` — the TRAP baiting protocol skeleton.
+
+The paper's own protocol, pRFT, lives in :mod:`repro.core`.
+"""
+
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+from repro.protocols.runner import RunResult, build_context, run_consensus
+
+__all__ = [
+    "BaseReplica",
+    "ProtocolConfig",
+    "ProtocolContext",
+    "RunResult",
+    "build_context",
+    "run_consensus",
+]

@@ -1,0 +1,264 @@
+"""Protocol-agnostic replica skeleton.
+
+Every protocol (pRFT, pBFT, HotStuff, Polygraph, TRAP) subclasses
+:class:`BaseReplica`, which wires a :class:`~repro.agents.player.Player`
+to the simulation context and funnels *all* outgoing traffic through
+the player's strategy — the single choke point where abstention,
+equivocation and censorship can occur.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.agents.player import Player
+from repro.agents.strategies import MessageFactory
+from repro.crypto.keys import KeyPair
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, sign
+from repro.ledger.chain import Chain
+from repro.ledger.collateral import CollateralRegistry
+from repro.ledger.mempool import Mempool
+from repro.net.envelope import Envelope
+from repro.net.network import Network
+from repro.sim.engine import SimulationEngine
+from repro.sim.timers import TimerService
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Deployment-wide protocol parameters.
+
+    Attributes:
+        n: number of players.
+        t0: the protocol's byzantine-tolerance parameter (pRFT's
+            analysis uses t0 = ⌈n/4⌉ − 1; Claim 1 experiments vary it).
+        quorum: agreement threshold τ; defaults to n − t0, the value
+            pRFT uses.  Claim 1's experiments sweep τ outside the
+            admissible window [⌊(n+t0)/2⌋+1, n−t0].
+        timeout: the local waiting time Δ before view change.
+        max_rounds: rounds after which replicas stop initiating work.
+        block_size: max transactions per proposed block.
+        deposit: the collateral L per player.
+        alpha: the payoff scale α of Table 2.
+        discount: the δ of Equation 1.
+        view_change_evidence: whether ViewChange messages carry the
+            sender's held statements (pBFT-style certificates).  On by
+            default; the ablation benchmark switches it off to show
+            that stalled fork attempts then escape attribution.
+    """
+
+    n: int
+    t0: int
+    quorum: Optional[int] = None
+    timeout: float = 30.0
+    max_rounds: int = 3
+    block_size: int = 4
+    deposit: float = 10.0
+    alpha: float = 1.0
+    discount: float = 0.9
+    view_change_evidence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one player")
+        if not 0 <= self.t0 < self.n:
+            raise ValueError("t0 must lie in [0, n)")
+        if self.quorum is not None and not 1 <= self.quorum <= self.n:
+            raise ValueError("quorum must lie in [1, n]")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+
+    @property
+    def quorum_size(self) -> int:
+        """τ: defaults to n − t0 (the paper's threshold)."""
+        return self.quorum if self.quorum is not None else self.n - self.t0
+
+    @property
+    def admissible_quorum_window(self) -> range:
+        """Claim 1's necessary window [⌊(n+t0)/2⌋ + 1, n − t0]."""
+        low = math.floor((self.n + self.t0) / 2) + 1
+        high = self.n - self.t0
+        return range(low, high + 1)
+
+    @classmethod
+    def for_prft(cls, n: int, **overrides: Any) -> "ProtocolConfig":
+        """pRFT's setting: t0 = ⌈n/4⌉ − 1 (threat model M, Section 6)."""
+        t0 = max(0, math.ceil(n / 4) - 1)
+        return cls(n=n, t0=t0, **overrides)
+
+    @classmethod
+    def for_bft(cls, n: int, **overrides: Any) -> "ProtocolConfig":
+        """Classic partially-synchronous BFT: t0 = ⌈n/3⌉ − 1."""
+        t0 = max(0, math.ceil(n / 3) - 1)
+        return cls(n=n, t0=t0, **overrides)
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a replica shares with the rest of the deployment."""
+
+    engine: SimulationEngine
+    network: Network
+    timers: TimerService
+    registry: KeyRegistry
+    collateral: CollateralRegistry
+
+    @property
+    def trace(self):
+        return self.network.trace
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+
+class BaseReplica(ABC):
+    """One player's protocol state machine.
+
+    Subclasses implement :meth:`start`, :meth:`handle_payload` and
+    :meth:`on_timeout`; the base class provides signing, verification,
+    strategy-mediated broadcast, chain/mempool state and trace helpers.
+    """
+
+    def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
+        self.player = player
+        self.config = config
+        self.ctx = ctx
+        self.chain = Chain()
+        self.mempool = Mempool()
+        self.keypair: KeyPair = ctx.registry.keypair_of(player.player_id)
+        self.halted = False
+        ctx.network.register(player.player_id, self._on_envelope)
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def player_id(self) -> int:
+        return self.player.player_id
+
+    @property
+    def strategy(self):
+        return self.player.strategy
+
+    def leader_of_round(self, round_number: int) -> int:
+        """Round-robin leader: l = r mod n (the paper's 1 + (r mod n),
+        zero-indexed)."""
+        return round_number % self.config.n
+
+    @abstractmethod
+    def current_leader(self) -> int:
+        """The current round's leader (used by censorship strategies)."""
+
+    # ------------------------------------------------------------------
+    # Crypto helpers
+    # ------------------------------------------------------------------
+    def sign_value(self, value: Any) -> Signature:
+        return sign(self.keypair, value)
+
+    def verify_value(self, signature: Signature, value: Any) -> bool:
+        return self.ctx.registry.verify(signature, value)
+
+    # ------------------------------------------------------------------
+    # Strategy-mediated I/O
+    # ------------------------------------------------------------------
+    def participates(self, phase: str) -> bool:
+        return self.strategy.participates(self, phase)
+
+    def broadcast(
+        self,
+        message: Any,
+        message_type: str,
+        size_bytes: int,
+        round_number: int,
+        alternative_factory: Optional[MessageFactory] = None,
+        phase: Optional[str] = None,
+    ) -> int:
+        """One logical broadcast, shaped by the player's strategy.
+
+        The strategy decides, per recipient, whether to send the
+        prescribed message, a conflicting alternative, several, or
+        nothing.  Returns the number of envelopes sent.
+        """
+        if self.halted:
+            return 0
+        if phase is not None and not self.participates(phase):
+            return 0
+        recipients = list(self.ctx.network.participants())
+        plan = self.strategy.plan_broadcast(self, message, alternative_factory, recipients)
+        sent = 0
+        for recipient, planned in plan.items():
+            if planned is None:
+                continue
+            messages = planned if isinstance(planned, (list, tuple)) else [planned]
+            for payload in messages:
+                if payload is None:
+                    continue
+                self.ctx.network.send(
+                    Envelope(
+                        sender=self.player_id,
+                        recipient=recipient,
+                        payload=payload,
+                        message_type=message_type,
+                        size_bytes=size_bytes,
+                        round_number=round_number,
+                    )
+                )
+                sent += 1
+        return sent
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        if self.halted:
+            self.on_halted_payload(envelope.sender, envelope.payload)
+            return
+        self.handle_payload(envelope.sender, envelope.payload)
+
+    def on_halted_payload(self, sender: int, payload: Any) -> None:
+        """Late traffic after the replica stopped initiating rounds.
+
+        Protocol actions have ceased, but accountability never does:
+        Section 5.3.1 lets any Proof-of-Fraud burn collateral via a
+        future transaction, so accountable protocols override this to
+        keep absorbing evidence.  Default: drop.
+        """
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
+        self.ctx.timers.set_timer(self.player_id, name, delay, callback)
+
+    def cancel_timer(self, name: str) -> None:
+        self.ctx.timers.cancel(self.player_id, name)
+
+    # ------------------------------------------------------------------
+    # Trace helper
+    # ------------------------------------------------------------------
+    def trace(self, kind: str, **detail: Any) -> None:
+        self.ctx.trace.record(self.ctx.now, kind, self.player_id, **detail)
+
+    def halt(self) -> None:
+        """Stop all activity (end of configured rounds)."""
+        self.halted = True
+        self.ctx.timers.cancel_all(self.player_id)
+
+    # ------------------------------------------------------------------
+    # Abstract protocol hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def start(self) -> None:
+        """Begin the protocol (round 0)."""
+
+    @abstractmethod
+    def handle_payload(self, sender: int, payload: Any) -> None:
+        """Process one delivered protocol message."""
+
+    def submit_transactions(self, transactions: List[Any]) -> None:
+        """Client entry point: feed transactions into this replica."""
+        self.mempool.submit_all(transactions)

@@ -1,0 +1,295 @@
+"""HotStuff-style linear baseline (Yin et al. 2019), simulation-grade.
+
+The Figure-3 comparison point with O(n^2) message complexity and
+O(κ·n^3) message size (one factor of n below the quadratic,
+justification-carrying protocols): communication is leader-relayed —
+replicas vote *to the leader*, who aggregates a constant-size quorum
+certificate (modelling a threshold signature) and broadcasts it.
+Three chained vote phases (prepare → precommit → commit) then a
+decide.  No accountability: the QC is aggregated, so individual
+equivocations are not attributable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.agents.player import Player
+from repro.core.messages import KAPPA, SignedStatement, make_statement, verify_statement
+from repro.ledger.block import Block
+from repro.net.envelope import Envelope
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+
+HS_PROPOSE = "hs-propose"
+HS_PHASES = ("hs-prepare", "hs-precommit", "hs-commit")
+HS_DECIDE = "hs-decide"
+HS_NEWVIEW = "hs-newview"
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """An aggregated (threshold-signature) certificate: O(κ) size."""
+
+    phase: str
+    round_number: int
+    digest: str
+    signer_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        return KAPPA
+
+
+@dataclass(frozen=True)
+class HsProposal:
+    block: Any
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_estimate_bytes + self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class HsVote:
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class HsCertificateMessage:
+    certificate: QuorumCertificate
+
+    @property
+    def round_number(self) -> int:
+        return self.certificate.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.certificate.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.certificate.size_bytes
+
+
+@dataclass
+class _HsRound:
+    number: int
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    votes: Dict[str, Dict[str, Set[int]]] = field(default_factory=dict)  # phase -> digest -> voters
+    voted_phases: Set[str] = field(default_factory=set)
+    certified_phases: Set[str] = field(default_factory=set)
+    finalized: bool = False
+    advanced: bool = False
+
+
+class HotStuffReplica(BaseReplica):
+    """Linear leader-relayed BFT with chained quorum certificates."""
+
+    def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
+        super().__init__(player, config, ctx)
+        self.current_round = 0
+        self._rounds: Dict[int, _HsRound] = {}
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._started = False
+
+    def current_leader(self) -> int:
+        return self.leader_of_round(self.current_round)
+
+    def _state(self, round_number: int) -> _HsRound:
+        if round_number not in self._rounds:
+            self._rounds[round_number] = _HsRound(number=round_number)
+        return self._rounds[round_number]
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._start_round(0)
+
+    def _start_round(self, round_number: int) -> None:
+        if self.halted:
+            return
+        if round_number >= self.config.max_rounds:
+            self.halt()
+            return
+        self.current_round = round_number
+        self.set_timer(
+            f"round-{round_number}", self.config.timeout, lambda: self._advance(round_number)
+        )
+        if self.leader_of_round(round_number) == self.player_id:
+            self._propose(round_number)
+        for sender, payload in self._future.pop(round_number, []):
+            self.handle_payload(sender, payload)
+
+    def _advance(self, round_number: int) -> None:
+        state = self._state(round_number)
+        if state.advanced or self.current_round != round_number:
+            return
+        state.advanced = True
+        self.cancel_timer(f"round-{round_number}")
+        self._start_round(round_number + 1)
+
+    def _propose(self, round_number: int) -> None:
+        candidates = self.mempool.select(self.config.block_size)
+        transactions = self.strategy.select_transactions(self, candidates)
+        block = Block(
+            round_number=round_number,
+            proposer=self.player_id,
+            parent_digest=self.chain.head().digest,
+            transactions=tuple(transactions),
+        )
+        statement = make_statement(self.keypair, HS_PROPOSE, round_number, block.digest)
+        message = HsProposal(block=block, statement=statement)
+        self.broadcast(
+            message,
+            message_type="hs-propose",
+            size_bytes=message.size_bytes,
+            round_number=round_number,
+            phase=HS_PROPOSE,
+        )
+
+    def _send_to_leader(self, message: HsVote, round_number: int) -> None:
+        """Linear communication: votes go to the leader only."""
+        if self.halted or not self.participates(message.statement.phase):
+            return
+        leader = self.leader_of_round(round_number)
+        self.ctx.network.send(
+            Envelope(
+                sender=self.player_id,
+                recipient=leader,
+                payload=message,
+                message_type=message.statement.phase,
+                size_bytes=message.size_bytes,
+                round_number=round_number,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def handle_payload(self, sender: int, payload: Any) -> None:
+        round_number = getattr(payload, "round_number", None)
+        if round_number is None:
+            return
+        if round_number > self.current_round:
+            self._future.setdefault(round_number, []).append((sender, payload))
+            return
+        if round_number < self.current_round:
+            return
+        if isinstance(payload, HsProposal):
+            self._on_proposal(sender, payload)
+        elif isinstance(payload, HsVote):
+            self._on_vote(sender, payload)
+        elif isinstance(payload, HsCertificateMessage):
+            self._on_certificate(sender, payload)
+
+    def _on_proposal(self, sender: int, message: HsProposal) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if sender != self.leader_of_round(round_number):
+            return
+        if message.statement.phase != HS_PROPOSE or message.statement.signer != sender:
+            return
+        if not verify_statement(self.ctx.registry, message.statement):
+            return
+        if message.block.digest != message.statement.digest:
+            return
+        if message.block.parent_digest != self.chain.head().digest:
+            return
+        state.blocks.setdefault(message.digest, message.block)
+        self._vote(state, HS_PHASES[0], message.digest)
+
+    def _vote(self, state: _HsRound, phase: str, digest: str) -> None:
+        if phase in state.voted_phases:
+            return
+        state.voted_phases.add(phase)
+        statement = make_statement(self.keypair, phase, state.number, digest)
+        self._send_to_leader(HsVote(statement=statement), state.number)
+
+    def _on_vote(self, sender: int, message: HsVote) -> None:
+        """Leader-side vote aggregation into a QC."""
+        round_number = message.round_number
+        if self.leader_of_round(round_number) != self.player_id:
+            return
+        statement = message.statement
+        if statement.phase not in HS_PHASES or statement.signer != sender:
+            return
+        if not verify_statement(self.ctx.registry, statement):
+            return
+        state = self._state(round_number)
+        voters = state.votes.setdefault(statement.phase, {}).setdefault(statement.digest, set())
+        voters.add(sender)
+        if len(voters) < self.config.quorum_size:
+            return
+        if statement.phase in state.certified_phases:
+            return
+        state.certified_phases.add(statement.phase)
+        certificate = QuorumCertificate(
+            phase=statement.phase,
+            round_number=round_number,
+            digest=statement.digest,
+            signer_count=len(voters),
+        )
+        message_type = HS_DECIDE if statement.phase == HS_PHASES[-1] else statement.phase + "-qc"
+        self.broadcast(
+            HsCertificateMessage(certificate=certificate),
+            message_type=message_type,
+            size_bytes=certificate.size_bytes,
+            round_number=round_number,
+            phase=statement.phase,
+        )
+
+    def _on_certificate(self, sender: int, message: HsCertificateMessage) -> None:
+        round_number = message.round_number
+        certificate = message.certificate
+        if sender != self.leader_of_round(round_number):
+            return
+        if certificate.signer_count < self.config.quorum_size:
+            return
+        state = self._state(round_number)
+        phase_index = HS_PHASES.index(certificate.phase) if certificate.phase in HS_PHASES else -1
+        if phase_index < 0:
+            return
+        if certificate.phase == HS_PHASES[-1]:
+            self._decide(state, certificate.digest)
+            return
+        self._vote(state, HS_PHASES[phase_index + 1], certificate.digest)
+
+    def _decide(self, state: _HsRound, digest: str) -> None:
+        if state.finalized:
+            return
+        block = state.blocks.get(digest)
+        if block is None or block.parent_digest != self.chain.head().digest:
+            return
+        state.finalized = True
+        self.chain.append_tentative(block)
+        self.chain.finalize(digest)
+        self.mempool.mark_included(tx.tx_id for tx in block.transactions)
+        self.ctx.collateral.note_block_mined()
+        self.trace("final", round=state.number, digest=digest[:12])
+        self._advance(state.number)
+
+
+def hotstuff_factory(player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> HotStuffReplica:
+    """Factory for :func:`repro.protocols.runner.run_consensus`."""
+    return HotStuffReplica(player, config, ctx)

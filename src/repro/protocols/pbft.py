@@ -1,0 +1,323 @@
+"""pBFT baseline (Castro & Liskov 1999), simulation-grade.
+
+Three all-to-all phases per round — PrePrepare (leader), Prepare,
+Commit — with quorum n − t0 (the classic 2f + 1 at n = 3f + 1).
+Finality is immediate on the commit quorum; there is **no
+accountability**: messages carry no justification sets, so a
+double-signer is never provably exposed and never loses collateral.
+This is the Figure-3 comparison point with O(κ) message size, and the
+foil for pRFT's reveal phase in the robustness experiments: under
+violated bounds pBFT forks *silently*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.agents.player import Player
+from repro.core.messages import (
+    SignedStatement,
+    make_statement,
+    verify_statement,
+)
+from repro.ledger.block import Block
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+
+PREPREPARE = "pbft-preprepare"
+PREPARE = "pbft-prepare"
+COMMIT = "pbft-commit"
+VIEW_CHANGE = "pbft-view-change"
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    block: Any
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_estimate_bytes + self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class PhaseVote:
+    """A Prepare or Commit vote: statement only, O(κ) size."""
+
+    statement: SignedStatement
+    block: Optional[Any] = None
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.statement.size_bytes + block_size
+
+
+@dataclass(frozen=True)
+class PbftViewChange:
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes
+
+
+@dataclass
+class _PbftRound:
+    number: int
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    prepared_digests: Set[str] = field(default_factory=set)
+    committed_digests: Set[str] = field(default_factory=set)
+    prepares: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    commits: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
+    view_change_sent: bool = False
+    finalized: bool = False
+    advanced: bool = False
+
+
+class PBFTReplica(BaseReplica):
+    """pBFT state machine on the shared replica framework."""
+
+    def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
+        super().__init__(player, config, ctx)
+        self.current_round = 0
+        self._rounds: Dict[int, _PbftRound] = {}
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._started = False
+
+    def current_leader(self) -> int:
+        return self.leader_of_round(self.current_round)
+
+    def _state(self, round_number: int) -> _PbftRound:
+        if round_number not in self._rounds:
+            self._rounds[round_number] = _PbftRound(number=round_number)
+        return self._rounds[round_number]
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._start_round(0)
+
+    def _start_round(self, round_number: int) -> None:
+        if self.halted:
+            return
+        if round_number >= self.config.max_rounds:
+            self.halt()
+            return
+        self.current_round = round_number
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_timeout(round_number),
+        )
+        if self.leader_of_round(round_number) == self.player_id:
+            self._preprepare(round_number)
+        for sender, payload in self._future.pop(round_number, []):
+            self.handle_payload(sender, payload)
+
+    def _advance(self, round_number: int) -> None:
+        state = self._state(round_number)
+        if state.advanced or self.current_round != round_number:
+            return
+        state.advanced = True
+        self.cancel_timer(f"round-{round_number}")
+        self._start_round(round_number + 1)
+
+    # ------------------------------------------------------------------
+    def _build_block(self, round_number: int, conflict_marker: bool = False) -> Block:
+        candidates = self.mempool.select(self.config.block_size)
+        transactions = self.strategy.select_transactions(self, candidates)
+        if conflict_marker:
+            from repro.ledger.transaction import Transaction
+
+            marker = Transaction(tx_id=f"__fork-r{round_number}-p{self.player_id}")
+            transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])
+        return Block(
+            round_number=round_number,
+            proposer=self.player_id,
+            parent_digest=self.chain.head().digest,
+            transactions=tuple(transactions),
+        )
+
+    def _make_preprepare(self, round_number: int, conflict_marker: bool = False) -> PrePrepare:
+        block = self._build_block(round_number, conflict_marker=conflict_marker)
+        statement = make_statement(self.keypair, PREPREPARE, round_number, block.digest)
+        return PrePrepare(block=block, statement=statement)
+
+    def _preprepare(self, round_number: int) -> None:
+        primary = self._make_preprepare(round_number)
+        self.broadcast(
+            primary,
+            message_type="pbft-preprepare",
+            size_bytes=primary.size_bytes,
+            round_number=round_number,
+            alternative_factory=lambda: self._make_preprepare(round_number, conflict_marker=True),
+            phase=PREPREPARE,
+        )
+
+    # ------------------------------------------------------------------
+    def handle_payload(self, sender: int, payload: Any) -> None:
+        round_number = getattr(payload, "round_number", None)
+        if round_number is None:
+            return
+        if round_number > self.current_round:
+            self._future.setdefault(round_number, []).append((sender, payload))
+            return
+        if round_number < self.current_round:
+            return
+        if isinstance(payload, PrePrepare):
+            self._on_preprepare(sender, payload)
+        elif isinstance(payload, PhaseVote) and payload.statement.phase == PREPARE:
+            self._on_prepare(sender, payload)
+        elif isinstance(payload, PhaseVote) and payload.statement.phase == COMMIT:
+            self._on_commit(sender, payload)
+        elif isinstance(payload, PbftViewChange):
+            self._on_view_change(sender, payload)
+
+    def _valid(self, statement: SignedStatement, sender: int, phase: str) -> bool:
+        return (
+            statement.phase == phase
+            and statement.signer == sender
+            and verify_statement(self.ctx.registry, statement)
+        )
+
+    def _on_preprepare(self, sender: int, message: PrePrepare) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if sender != self.leader_of_round(round_number):
+            return
+        if not self._valid(message.statement, sender, PREPREPARE):
+            return
+        if message.block.digest != message.statement.digest:
+            return
+        digest = message.digest
+        state.blocks.setdefault(digest, message.block)
+        may_sign = not state.prepared_digests or self.strategy.double_votes()
+        if digest in state.prepared_digests or not may_sign:
+            return
+        if message.block.parent_digest != self.chain.head().digest:
+            return
+        state.prepared_digests.add(digest)
+        statement = make_statement(self.keypair, PREPARE, round_number, digest)
+        vote = PhaseVote(statement=statement)
+        self.broadcast(
+            vote,
+            message_type="pbft-prepare",
+            size_bytes=vote.size_bytes,
+            round_number=round_number,
+            phase=PREPARE,
+        )
+
+    def _on_prepare(self, sender: int, message: PhaseVote) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, PREPARE):
+            return
+        digest = message.digest
+        state.prepares.setdefault(digest, {})[sender] = message.statement
+        if len(state.prepares[digest]) < self.config.quorum_size:
+            return
+        may_sign = not state.committed_digests or self.strategy.double_votes()
+        if digest in state.committed_digests or not may_sign:
+            return
+        state.committed_digests.add(digest)
+        statement = make_statement(self.keypair, COMMIT, round_number, digest)
+        vote = PhaseVote(statement=statement, block=state.blocks.get(digest))
+        self.broadcast(
+            vote,
+            message_type="pbft-commit",
+            size_bytes=vote.size_bytes,
+            round_number=round_number,
+            phase=COMMIT,
+        )
+
+    def _on_commit(self, sender: int, message: PhaseVote) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, COMMIT):
+            return
+        digest = message.digest
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
+        state.commits.setdefault(digest, {})[sender] = message.statement
+        if state.finalized:
+            return
+        if len(state.commits[digest]) >= self.config.quorum_size:
+            self._finalize(state, digest)
+
+    def _finalize(self, state: _PbftRound, digest: str) -> None:
+        block = state.blocks.get(digest)
+        if block is None or block.parent_digest != self.chain.head().digest:
+            return
+        state.finalized = True
+        self.chain.append_tentative(block)
+        self.chain.finalize(digest)
+        self.mempool.mark_included(tx.tx_id for tx in block.transactions)
+        self.ctx.collateral.note_block_mined()
+        self.trace("final", round=state.number, digest=digest[:12])
+        self._advance(state.number)
+
+    # ------------------------------------------------------------------
+    def _on_timeout(self, round_number: int) -> None:
+        if self.halted or self.current_round != round_number:
+            return
+        state = self._state(round_number)
+        if state.finalized:
+            return
+        if not state.view_change_sent:
+            state.view_change_sent = True
+            statement = make_statement(self.keypair, VIEW_CHANGE, round_number, "")
+            message = PbftViewChange(statement=statement)
+            self.broadcast(
+                message,
+                message_type="pbft-view-change",
+                size_bytes=message.size_bytes,
+                round_number=round_number,
+                phase=VIEW_CHANGE,
+            )
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_timeout(round_number),
+        )
+
+    def _on_view_change(self, sender: int, message: PbftViewChange) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, VIEW_CHANGE):
+            return
+        state.view_changes[sender] = message.statement
+        if len(state.view_changes) >= self.config.n - self.config.t0 and not state.finalized:
+            self.trace("view_change_committed", round=round_number)
+            self._advance(round_number)
+
+
+def pbft_factory(player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> PBFTReplica:
+    """Factory for :func:`repro.protocols.runner.run_consensus`."""
+    return PBFTReplica(player, config, ctx)

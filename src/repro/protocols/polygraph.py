@@ -1,0 +1,402 @@
+"""Polygraph-style accountable BFT baseline (Civit et al. 2021).
+
+The Figure-3 comparison point that *does* provide accountability at
+the same asymptotic cost as pRFT: a pBFT-shaped protocol whose commit
+messages carry the full prepare-vote justification (O(κ·n) per
+message), letting every replica run the double-sign detector and burn
+provably guilty players.  Its threat model is weaker than pRFT's —
+byzantine-only t < n/3, no rational incentives — which is the paper's
+point: pRFT matches Polygraph's complexity while tolerating
+t < n/4, t + k < n/2 with rational players.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.agents.player import Player
+from repro.core.messages import SignedStatement, make_statement, verify_statement
+from repro.core.pof import FraudDetector, FraudProof
+from repro.ledger.block import Block
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+
+PG_PROPOSE = "pg-propose"
+PG_PREPARE = "pg-prepare"
+PG_COMMIT = "pg-commit"
+PG_VIEW_CHANGE = "pg-view-change"
+
+
+@dataclass(frozen=True)
+class PgPropose:
+    block: Any
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_estimate_bytes + self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class PgPrepare:
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes
+
+
+@dataclass(frozen=True)
+class PgCommit:
+    """Commit with the prepare-quorum justification — the accountable bit."""
+
+    statement: SignedStatement
+    prepares: FrozenSet[SignedStatement]
+    block: Optional[Any] = None
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> str:
+        return self.statement.digest
+
+    @property
+    def size_bytes(self) -> int:
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.statement.size_bytes + sum(p.size_bytes for p in self.prepares) + block_size
+
+
+@dataclass(frozen=True)
+class PgViewChange:
+    statement: SignedStatement
+    evidence: FrozenSet[SignedStatement] = frozenset()
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes + sum(e.size_bytes for e in self.evidence)
+
+
+@dataclass
+class _PgRound:
+    number: int
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    prepared_digests: Set[str] = field(default_factory=set)
+    committed_digests: Set[str] = field(default_factory=set)
+    prepares: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    commits: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
+    view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
+    view_change_sent: bool = False
+    finalized: bool = False
+    advanced: bool = False
+
+
+class PolygraphReplica(BaseReplica):
+    """Accountable pBFT: justification-carrying commits + fraud burning."""
+
+    def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
+        super().__init__(player, config, ctx)
+        self.current_round = 0
+        self.detector = FraudDetector(registry=ctx.registry)
+        self.reported_guilty: Set[int] = set()
+        self._rounds: Dict[int, _PgRound] = {}
+        self._future: Dict[int, List[Tuple[int, Any]]] = {}
+        self._started = False
+
+    def current_leader(self) -> int:
+        return self.leader_of_round(self.current_round)
+
+    def _state(self, round_number: int) -> _PgRound:
+        if round_number not in self._rounds:
+            self._rounds[round_number] = _PgRound(number=round_number)
+        return self._rounds[round_number]
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._start_round(0)
+
+    def _start_round(self, round_number: int) -> None:
+        if self.halted:
+            return
+        if round_number >= self.config.max_rounds:
+            self.halt()
+            return
+        self.current_round = round_number
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_timeout(round_number),
+        )
+        if self.leader_of_round(round_number) == self.player_id:
+            self._propose(round_number)
+        for sender, payload in self._future.pop(round_number, []):
+            self.handle_payload(sender, payload)
+
+    def _advance(self, round_number: int) -> None:
+        state = self._state(round_number)
+        if state.advanced or self.current_round != round_number:
+            return
+        state.advanced = True
+        self.cancel_timer(f"round-{round_number}")
+        self._start_round(round_number + 1)
+
+    # ------------------------------------------------------------------
+    def _absorb(self, statement: SignedStatement) -> None:
+        proof = self.detector.absorb(statement)
+        if proof is not None:
+            self._punish(proof)
+
+    def _punish(self, proof: FraudProof) -> None:
+        accused = proof.accused
+        if accused in self.reported_guilty:
+            return
+        if not self.strategy.report_fraud(self, {accused}):
+            return
+        self.reported_guilty.add(accused)
+        self.ctx.collateral.burn(accused, reason=f"polygraph-round-{proof.round_number}")
+        self.trace("burn", accused=accused, round=proof.round_number)
+
+    # ------------------------------------------------------------------
+    def _propose(self, round_number: int) -> None:
+        candidates = self.mempool.select(self.config.block_size)
+        transactions = self.strategy.select_transactions(self, candidates)
+        block = Block(
+            round_number=round_number,
+            proposer=self.player_id,
+            parent_digest=self.chain.head().digest,
+            transactions=tuple(transactions),
+        )
+        statement = make_statement(self.keypair, PG_PROPOSE, round_number, block.digest)
+        message = PgPropose(block=block, statement=statement)
+
+        def alternative() -> PgPropose:
+            from repro.ledger.transaction import Transaction
+
+            marker = Transaction(tx_id=f"__fork-r{round_number}-p{self.player_id}")
+            alt_block = Block(
+                round_number=round_number,
+                proposer=self.player_id,
+                parent_digest=self.chain.head().digest,
+                transactions=(marker,) + tuple(transactions[: self.config.block_size - 1]),
+            )
+            alt_statement = make_statement(self.keypair, PG_PROPOSE, round_number, alt_block.digest)
+            return PgPropose(block=alt_block, statement=alt_statement)
+
+        self.broadcast(
+            message,
+            message_type="pg-propose",
+            size_bytes=message.size_bytes,
+            round_number=round_number,
+            alternative_factory=alternative,
+            phase=PG_PROPOSE,
+        )
+
+    def handle_payload(self, sender: int, payload: Any) -> None:
+        round_number = getattr(payload, "round_number", None)
+        if round_number is None:
+            return
+        if round_number > self.current_round:
+            self._future.setdefault(round_number, []).append((sender, payload))
+            return
+        if round_number < self.current_round:
+            self._late_absorb(payload)
+            return
+        if isinstance(payload, PgPropose):
+            self._on_propose(sender, payload)
+        elif isinstance(payload, PgPrepare):
+            self._on_prepare(sender, payload)
+        elif isinstance(payload, PgCommit):
+            self._on_commit(sender, payload)
+        elif isinstance(payload, PgViewChange):
+            self._on_view_change(sender, payload)
+
+    def on_halted_payload(self, sender: int, payload: Any) -> None:
+        """Accountability outlives the run: keep absorbing evidence."""
+        self._late_absorb(payload)
+
+    def _late_absorb(self, payload: Any) -> None:
+        statement = getattr(payload, "statement", None)
+        if isinstance(statement, SignedStatement) and verify_statement(self.ctx.registry, statement):
+            self._absorb(statement)
+        for attr in ("prepares", "evidence"):
+            bundle = getattr(payload, attr, None)
+            if bundle:
+                for stmt in bundle:
+                    if verify_statement(self.ctx.registry, stmt):
+                        self._absorb(stmt)
+
+    def _valid(self, statement: SignedStatement, sender: int, phase: str) -> bool:
+        return (
+            statement.phase == phase
+            and statement.signer == sender
+            and verify_statement(self.ctx.registry, statement)
+        )
+
+    def _on_propose(self, sender: int, message: PgPropose) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if sender != self.leader_of_round(round_number):
+            return
+        if not self._valid(message.statement, sender, PG_PROPOSE):
+            return
+        if message.block.digest != message.statement.digest:
+            return
+        self._absorb(message.statement)
+        digest = message.digest
+        state.blocks.setdefault(digest, message.block)
+        may_sign = not state.prepared_digests or self.strategy.double_votes()
+        if digest in state.prepared_digests or not may_sign:
+            return
+        if message.block.parent_digest != self.chain.head().digest:
+            return
+        state.prepared_digests.add(digest)
+        statement = make_statement(self.keypair, PG_PREPARE, round_number, digest)
+        self.broadcast(
+            PgPrepare(statement=statement),
+            message_type="pg-prepare",
+            size_bytes=statement.size_bytes,
+            round_number=round_number,
+            phase=PG_PREPARE,
+        )
+
+    def _on_prepare(self, sender: int, message: PgPrepare) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, PG_PREPARE):
+            return
+        self._absorb(message.statement)
+        digest = message.digest
+        state.prepares.setdefault(digest, {})[sender] = message.statement
+        if len(state.prepares[digest]) < self.config.quorum_size:
+            return
+        may_sign = not state.committed_digests or self.strategy.double_votes()
+        if digest in state.committed_digests or not may_sign:
+            return
+        state.committed_digests.add(digest)
+        statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
+        commit = PgCommit(
+            statement=statement,
+            prepares=frozenset(state.prepares[digest].values()),
+            block=state.blocks.get(digest),
+        )
+        self.broadcast(
+            commit,
+            message_type="pg-commit",
+            size_bytes=commit.size_bytes,
+            round_number=round_number,
+            phase=PG_COMMIT,
+        )
+
+    def _on_commit(self, sender: int, message: PgCommit) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, PG_COMMIT):
+            return
+        digest = message.digest
+        signers = set()
+        for prepare in message.prepares:
+            if prepare.phase != PG_PREPARE or prepare.round_number != round_number:
+                return
+            if prepare.digest != digest or not verify_statement(self.ctx.registry, prepare):
+                return
+            signers.add(prepare.signer)
+        if len(signers) < self.config.quorum_size:
+            return
+        self._absorb(message.statement)
+        for prepare in message.prepares:
+            self._absorb(prepare)
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
+        state.commits.setdefault(digest, {})[sender] = message.statement
+        if state.finalized:
+            return
+        if len(state.commits[digest]) >= self.config.quorum_size:
+            self._finalize(state, digest)
+
+    def _finalize(self, state: _PgRound, digest: str) -> None:
+        block = state.blocks.get(digest)
+        if block is None or block.parent_digest != self.chain.head().digest:
+            return
+        state.finalized = True
+        self.chain.append_tentative(block)
+        self.chain.finalize(digest)
+        self.mempool.mark_included(tx.tx_id for tx in block.transactions)
+        self.ctx.collateral.note_block_mined()
+        self.trace("final", round=state.number, digest=digest[:12])
+        self._advance(state.number)
+
+    # ------------------------------------------------------------------
+    def _on_timeout(self, round_number: int) -> None:
+        if self.halted or self.current_round != round_number:
+            return
+        state = self._state(round_number)
+        if state.finalized:
+            return
+        if not state.view_change_sent:
+            state.view_change_sent = True
+            evidence: Set[SignedStatement] = set()
+            for by_signer in state.prepares.values():
+                evidence.update(by_signer.values())
+            for by_signer in state.commits.values():
+                evidence.update(by_signer.values())
+            statement = make_statement(self.keypair, PG_VIEW_CHANGE, round_number, "")
+            message = PgViewChange(statement=statement, evidence=frozenset(evidence))
+            self.broadcast(
+                message,
+                message_type="pg-view-change",
+                size_bytes=message.size_bytes,
+                round_number=round_number,
+                phase=PG_VIEW_CHANGE,
+            )
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_timeout(round_number),
+        )
+
+    def _on_view_change(self, sender: int, message: PgViewChange) -> None:
+        round_number = message.round_number
+        state = self._state(round_number)
+        if not self._valid(message.statement, sender, PG_VIEW_CHANGE):
+            return
+        for stmt in message.evidence:
+            if verify_statement(self.ctx.registry, stmt):
+                self._absorb(stmt)
+        state.view_changes[sender] = message.statement
+        if len(state.view_changes) >= self.config.n - self.config.t0 and not state.finalized:
+            self.trace("view_change_committed", round=round_number)
+            self._advance(round_number)
+
+
+def polygraph_factory(
+    player: Player, config: ProtocolConfig, ctx: ProtocolContext
+) -> PolygraphReplica:
+    """Factory for :func:`repro.protocols.runner.run_consensus`."""
+    return PolygraphReplica(player, config, ctx)

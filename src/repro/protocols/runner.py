@@ -1,0 +1,183 @@
+"""Build a simulated deployment and run it to completion.
+
+The runner is the one-stop entry point used by tests, examples and
+benchmarks: given a protocol factory, a player roster, a configuration
+and a network model, it assembles engine + network + PKI + collateral,
+starts every replica, injects client transactions, runs the event loop
+and returns a :class:`RunResult` with everything the analysis layer
+needs (honest chains, trace, metrics, collateral, realised states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.agents.player import Player, Role
+from repro.crypto.registry import KeyRegistry
+from repro.gametheory.payoff import PlayerType, payoff
+from repro.gametheory.states import SystemState, classify_state
+from repro.ledger.chain import Chain
+from repro.ledger.collateral import CollateralRegistry
+from repro.ledger.transaction import Transaction
+from repro.net.delays import DelayModel, FixedDelay
+from repro.net.network import Network
+from repro.net.partition import PartitionSchedule
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import MetricsCollector
+from repro.sim.timers import TimerService
+from repro.sim.trace import TraceRecorder
+
+ReplicaFactory = Callable[[Player, ProtocolConfig, ProtocolContext], BaseReplica]
+
+
+def build_context(
+    config: ProtocolConfig,
+    player_ids: Iterable[int],
+    delay_model: Optional[DelayModel] = None,
+    partitions: Optional[PartitionSchedule] = None,
+    seed: str = "default",
+) -> ProtocolContext:
+    """Assemble engine, network, PKI and collateral for a deployment."""
+    engine = SimulationEngine()
+    network = Network(
+        engine,
+        delay_model=delay_model or FixedDelay(1.0),
+        partitions=partitions,
+        metrics=MetricsCollector(),
+        trace=TraceRecorder(),
+    )
+    registry = KeyRegistry.trusted_setup(player_ids, seed=seed)
+    collateral = CollateralRegistry(deposit=config.deposit)
+    collateral.enroll_all(player_ids)
+    return ProtocolContext(
+        engine=engine,
+        network=network,
+        timers=TimerService(engine),
+        registry=registry,
+        collateral=collateral,
+    )
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished run."""
+
+    config: ProtocolConfig
+    players: List[Player]
+    replicas: Dict[int, BaseReplica]
+    ctx: ProtocolContext
+    submitted_tx_ids: List[str]
+
+    # ------------------------------------------------------------------
+    # Views by role
+    # ------------------------------------------------------------------
+    def ids_with_role(self, role: Role) -> List[int]:
+        return sorted(p.player_id for p in self.players if p.role is role)
+
+    @property
+    def honest_ids(self) -> List[int]:
+        return self.ids_with_role(Role.HONEST)
+
+    @property
+    def rational_ids(self) -> List[int]:
+        return self.ids_with_role(Role.RATIONAL)
+
+    @property
+    def byzantine_ids(self) -> List[int]:
+        return self.ids_with_role(Role.BYZANTINE)
+
+    def honest_chains(self) -> Dict[int, Chain]:
+        return {pid: self.replicas[pid].chain for pid in self.honest_ids}
+
+    # ------------------------------------------------------------------
+    # Outcome classification and utilities
+    # ------------------------------------------------------------------
+    def system_state(self, censored_tx_ids: Optional[Iterable[str]] = None) -> SystemState:
+        """Classify the run's terminal σ from honest chains (Table 2)."""
+        return classify_state(self.honest_chains(), censored_tx_ids=censored_tx_ids)
+
+    def final_block_count(self) -> int:
+        """Final blocks on the longest honest chain."""
+        chains = self.honest_chains()
+        if not chains:
+            return 0
+        return max(len(chain.final_blocks()) for chain in chains.values())
+
+    def penalised_players(self) -> Set[int]:
+        return self.ctx.collateral.burned_players()
+
+    def realised_utility(
+        self,
+        player_id: int,
+        theta: PlayerType,
+        censored_tx_ids: Optional[Iterable[str]] = None,
+    ) -> float:
+        """u_i for the run: f(σ, θ) − L·D, at the run's terminal state.
+
+        The simulation realises one σ per run; per-round discounted
+        utilities are computed by the experiment harnesses that run
+        repeated games round by round.
+        """
+        state = self.system_state(censored_tx_ids=censored_tx_ids)
+        penalty = self.ctx.collateral.penalty_of(player_id)
+        return payoff(state, theta, self.config.alpha) - penalty
+
+    @property
+    def trace(self):
+        return self.ctx.trace
+
+    @property
+    def metrics(self):
+        return self.ctx.network.metrics
+
+
+def make_transactions(count: int, prefix: str = "tx") -> List[Transaction]:
+    """A simple deterministic client workload."""
+    return [Transaction(tx_id=f"{prefix}-{index}", payload=f"payload-{index}") for index in range(count)]
+
+
+def run_consensus(
+    factory: ReplicaFactory,
+    players: Sequence[Player],
+    config: ProtocolConfig,
+    delay_model: Optional[DelayModel] = None,
+    partitions: Optional[PartitionSchedule] = None,
+    transactions: Optional[Sequence[Transaction]] = None,
+    max_time: float = 10_000.0,
+    max_events: int = 2_000_000,
+    seed: str = "default",
+) -> RunResult:
+    """Run one full consensus deployment and return the result.
+
+    Players must have ids 0..n-1 matching ``config.n``.  Transactions
+    default to ``2 * block_size * max_rounds`` generated ones so every
+    round has work.
+    """
+    ids = sorted(p.player_id for p in players)
+    if ids != list(range(config.n)):
+        raise ValueError("players must have ids 0..n-1 matching config.n")
+
+    ctx = build_context(config, ids, delay_model=delay_model, partitions=partitions, seed=seed)
+    replicas: Dict[int, BaseReplica] = {}
+    for player in players:
+        replicas[player.player_id] = factory(player, config, ctx)
+
+    if transactions is None:
+        transactions = make_transactions(2 * config.block_size * config.max_rounds)
+    for replica in replicas.values():
+        replica.submit_transactions(list(transactions))
+
+    for replica in replicas.values():
+        replica.start()
+
+    ctx.engine.run(until=max_time, max_events=max_events)
+
+    return RunResult(
+        config=config,
+        players=list(players),
+        replicas=replicas,
+        ctx=ctx,
+        submitted_tx_ids=[tx.tx_id for tx in transactions],
+    )

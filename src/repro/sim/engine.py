@@ -1,0 +1,120 @@
+"""The simulation event loop.
+
+The engine owns a virtual clock and a priority queue of events.  Time
+advances only when events fire; two events scheduled for the same time
+fire in scheduling order (FIFO), which makes runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, seq) so that simultaneous events preserve their
+    scheduling order.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when its time comes."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """A deterministic discrete-event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """How many events have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """How many live (non-cancelled) events are queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now.
+
+        Returns the :class:`Event`, whose :meth:`Event.cancel` method
+        can be used to revoke it (e.g. a timeout that was beaten by a
+        quorum).
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        event = Event(
+            time=self._now + delay,
+            seq=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time`` (>= now)."""
+        return self.schedule(time - self._now, callback, label=label)
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` time, or ``max_events``.
+
+        ``until`` is exclusive: an event at exactly ``until`` does not
+        fire, and the clock is advanced to ``until`` when the bound is
+        hit, so a subsequent ``run`` continues from there.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time >= until:
+                self._now = max(self._now, until)
+                return
+            if not self.step():
+                return
+            fired += 1
+        if until is not None:
+            self._now = max(self._now, until)

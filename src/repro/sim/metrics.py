@@ -1,0 +1,96 @@
+"""Message-count and message-size accounting.
+
+The paper's Figure 3 compares protocols by message complexity (O(n^2)
+vs O(n^3)) and message *size* (O(κ·n^3) vs O(κ·n^4)), where κ is the
+security parameter.  The collector tallies, per message type, how many
+messages crossed the network and how many bytes of payload they carried
+under the κ-per-signature size model, so a sweep over n can recover the
+asymptotic exponents empirically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class MessageStats:
+    """Totals for one message type."""
+
+    count: int = 0
+    bytes: int = 0
+
+    def add(self, size_bytes: int) -> None:
+        self.count += 1
+        self.bytes += size_bytes
+
+
+class MetricsCollector:
+    """Tallies network traffic by message type and by round."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, MessageStats] = defaultdict(MessageStats)
+        self._by_round: Dict[int, MessageStats] = defaultdict(MessageStats)
+        self._total = MessageStats()
+
+    def record_send(self, message_type: str, size_bytes: int, round_number: int = -1) -> None:
+        """Account one message leaving a sender."""
+        self._by_type[message_type].add(size_bytes)
+        self._by_round[round_number].add(size_bytes)
+        self._total.add(size_bytes)
+
+    @property
+    def total_messages(self) -> int:
+        return self._total.count
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total.bytes
+
+    def messages_of(self, message_type: str) -> int:
+        return self._by_type[message_type].count
+
+    def bytes_of(self, message_type: str) -> int:
+        return self._by_type[message_type].bytes
+
+    def by_type(self) -> Dict[str, Tuple[int, int]]:
+        """Return {type: (count, bytes)} for every observed type."""
+        return {name: (stats.count, stats.bytes) for name, stats in self._by_type.items()}
+
+    def round_totals(self) -> Dict[int, Tuple[int, int]]:
+        """Return {round: (count, bytes)}."""
+        return {rnd: (stats.count, stats.bytes) for rnd, stats in self._by_round.items()}
+
+    def per_round_average(self) -> Tuple[float, float]:
+        """Mean (messages, bytes) per round, over rounds that saw traffic."""
+        rounds = [rnd for rnd in self._by_round if rnd >= 0]
+        if not rounds:
+            return (0.0, 0.0)
+        count = sum(self._by_round[rnd].count for rnd in rounds) / len(rounds)
+        size = sum(self._by_round[rnd].bytes for rnd in rounds) / len(rounds)
+        return (count, size)
+
+
+def fit_exponent(sizes: List[int], values: List[float]) -> float:
+    """Estimate b in value ≈ a * size^b by least squares on log-log points.
+
+    Used by the complexity benchmarks to confirm, e.g., that pRFT's
+    per-round message count grows as n^2-per-broadcaster × n phases
+    (i.e. overall O(n^2) messages per phase, O(n^3) signature payload).
+    """
+    import math
+
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two (size, value) points")
+    logs = [(math.log(size), math.log(value)) for size, value in zip(sizes, values) if value > 0]
+    if len(logs) < 2:
+        raise ValueError("need at least two positive values")
+    mean_x = sum(x for x, _ in logs) / len(logs)
+    mean_y = sum(y for _, y in logs) / len(logs)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    denominator = sum((x - mean_x) ** 2 for x, _ in logs)
+    if denominator == 0:
+        raise ValueError("all sizes identical")
+    return numerator / denominator

@@ -1,0 +1,90 @@
+"""Named, cancellable timers on top of the simulation engine.
+
+Replicas use timers for phase timeouts: pRFT triggers view change when
+the local waiting time Δ elapses without a proposal or without n - t0
+messages for the current phase (Section 5.2).  The service keys timers
+by (owner, name) so re-arming a timer for a new round silently replaces
+the stale one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.sim.engine import Event, SimulationEngine
+
+
+@dataclass
+class TimerHandle:
+    """A handle to a scheduled timer; ``cancel()`` revokes it."""
+
+    key: Tuple[Hashable, str]
+    event: Event
+
+    def cancel(self) -> None:
+        self.event.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.event.cancelled
+
+
+class TimerService:
+    """Manages per-owner named timers over a shared engine."""
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self._timers: Dict[Tuple[Hashable, str], TimerHandle] = {}
+
+    def set_timer(
+        self,
+        owner: Hashable,
+        name: str,
+        delay: float,
+        callback: Callable[[], None],
+    ) -> TimerHandle:
+        """Arm (or re-arm) the timer ``name`` for ``owner``.
+
+        An existing timer with the same key is cancelled first, so each
+        (owner, name) pair has at most one live timer.
+        """
+        key = (owner, name)
+        existing = self._timers.get(key)
+        if existing is not None:
+            existing.cancel()
+
+        def fire() -> None:
+            live = self._timers.get(key)
+            if live is not None and live.event is event:
+                del self._timers[key]
+            callback()
+
+        event = self._engine.schedule(delay, fire, label=f"timer:{owner}:{name}")
+        handle = TimerHandle(key=key, event=event)
+        self._timers[key] = handle
+        return handle
+
+    def cancel(self, owner: Hashable, name: str) -> bool:
+        """Cancel the timer if it is armed.  Returns True if one was live."""
+        handle = self._timers.pop((owner, name), None)
+        if handle is None or not handle.active:
+            return False
+        handle.cancel()
+        return True
+
+    def cancel_all(self, owner: Hashable) -> int:
+        """Cancel every live timer belonging to ``owner``."""
+        keys = [key for key in self._timers if key[0] == owner]
+        cancelled = 0
+        for key in keys:
+            handle = self._timers.pop(key)
+            if handle.active:
+                handle.cancel()
+                cancelled += 1
+        return cancelled
+
+    def is_armed(self, owner: Hashable, name: str) -> bool:
+        """True if (owner, name) has a live timer."""
+        handle = self._timers.get((owner, name))
+        return handle is not None and handle.active

@@ -1,0 +1,67 @@
+"""Structured execution traces.
+
+Every observable protocol action — send, deliver, tentative/final
+decision, Proof-of-Fraud exposure, view change, collateral burn — is
+appended to a :class:`TraceRecorder`.  Traces are the interface between
+protocol execution and analysis: the robustness checker (Definition 1),
+the accountability checker (Definition 6) and the game-theoretic state
+classifier (Table 2) all operate on traces, never on replica internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable action at virtual time ``time``.
+
+    ``kind`` is a short verb: "send", "deliver", "tentative", "final",
+    "expose", "view_change", "burn", "propose", "timeout", ...
+    ``player`` is the acting player's id (or None for system events).
+    ``detail`` carries event-specific structured data.
+    """
+
+    time: float
+    kind: str
+    player: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only log of :class:`TraceEvent` objects."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, player: Optional[int] = None, **detail: Any) -> None:
+        """Append one event."""
+        self._events.append(TraceEvent(time=time, kind=kind, player=player, detail=detail))
+
+    def events(self, kind: Optional[str] = None, player: Optional[int] = None) -> List[TraceEvent]:
+        """Return events, optionally filtered by kind and/or player."""
+        selected: Iterator[TraceEvent] = iter(self._events)
+        if kind is not None:
+            selected = (event for event in selected if event.kind == kind)
+        if player is not None:
+            selected = (event for event in selected if event.player == player)
+        return list(selected)
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """The most recent event of ``kind``, or None."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

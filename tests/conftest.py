@@ -1,0 +1,79 @@
+"""Shared fixtures and run helpers for protocol-level tests."""
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import (
+    Player,
+    byzantine_player,
+    honest_player,
+    rational_player,
+)
+from repro.agents.strategies import AbstainStrategy, HonestStrategy
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.net.delays import DelayModel, FixedDelay
+from repro.net.partition import PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import RunResult, run_consensus
+
+
+def roster(
+    n: int,
+    rational_ids: Sequence[int] = (),
+    byzantine_ids: Sequence[int] = (),
+    theta: PlayerType = PlayerType.FORK_SEEKING,
+) -> List[Player]:
+    """A roster with the named deviator slots (strategies default honest)."""
+    players: List[Player] = []
+    for i in range(n):
+        if i in rational_ids:
+            players.append(rational_player(i, theta))
+        elif i in byzantine_ids:
+            players.append(byzantine_player(i, HonestStrategy()))
+        else:
+            players.append(honest_player(i))
+    return players
+
+
+def run_prft(
+    players: List[Player],
+    n: Optional[int] = None,
+    max_rounds: int = 3,
+    delay: Optional[DelayModel] = None,
+    partitions: Optional[PartitionSchedule] = None,
+    max_time: float = 10_000.0,
+    **config_overrides,
+) -> RunResult:
+    """Run pRFT with its paper configuration (t0 = ⌈n/4⌉ − 1)."""
+    n = n if n is not None else len(players)
+    config = ProtocolConfig.for_prft(n=n, max_rounds=max_rounds, **config_overrides)
+    return run_consensus(
+        prft_factory,
+        players,
+        config,
+        delay_model=delay or FixedDelay(1.0),
+        partitions=partitions,
+        max_time=max_time,
+    )
+
+
+def fork_collusion(players: List[Player]) -> Collusion:
+    """Assign the fork (π_ds) attack to every non-honest player."""
+    collusion = Collusion.of(players)
+    assign_strategies(players, collusion, "fork")
+    return collusion
+
+
+def liveness_collusion(players: List[Player]) -> Collusion:
+    collusion = Collusion.of(players)
+    assign_strategies(players, collusion, "liveness")
+    return collusion
+
+
+def censorship_collusion(players: List[Player], censored: Sequence[str]) -> Collusion:
+    collusion = Collusion.of(players)
+    assign_strategies(players, collusion, "censorship", censored_tx_ids=censored)
+    return collusion

@@ -1,0 +1,99 @@
+"""Claim 1: the agreement threshold τ must lie in
+[⌊(n+t0)/2⌋ + 1, n − t0] — outside the window, either liveness or
+agreement breaks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
+from repro.core.replica import prft_factory
+from repro.gametheory.states import SystemState
+from repro.net.delays import FixedDelay
+from repro.net.partition import Partition, PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.runner import run_consensus
+
+from tests.conftest import roster
+
+
+class TestWindowAlgebra:
+    @given(st.integers(min_value=4, max_value=60), st.integers(min_value=1, max_value=10))
+    def test_window_bounds(self, n, t0):
+        if t0 >= n:
+            return
+        window = ProtocolConfig(n=n, t0=t0).admissible_quorum_window
+        assert window.start == math.floor((n + t0) / 2) + 1
+        assert window.stop - 1 == n - t0
+
+    def test_window_nonempty_iff_t0_below_third(self):
+        """⌊(n+t0)/2⌋ + 1 ≤ n − t0 requires roughly t0 < n/3."""
+        assert len(ProtocolConfig(n=9, t0=2).admissible_quorum_window) > 0
+        assert len(ProtocolConfig(n=9, t0=4).admissible_quorum_window) == 0
+
+    def test_default_quorum_is_upper_end(self):
+        config = ProtocolConfig(n=9, t0=2)
+        assert config.quorum_size == 9 - 2
+        assert config.quorum_size in config.admissible_quorum_window
+
+
+class TestUpperViolation:
+    """τ > n − t0: byzantine abstention kills liveness."""
+
+    def test_liveness_fails(self):
+        n, t0 = 9, 2
+        players = roster(n, byzantine_ids=[7, 8])
+        players[7].strategy = AbstainStrategy()
+        players[8].strategy = AbstainStrategy()
+        config = ProtocolConfig(n=n, t0=t0, quorum=n, max_rounds=2, timeout=10.0)
+        result = run_consensus(
+            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=200.0
+        )
+        assert result.system_state() is SystemState.NO_PROGRESS
+
+    def test_same_faults_fine_at_valid_quorum(self):
+        n, t0 = 9, 2
+        players = roster(n, byzantine_ids=[7, 8])
+        players[7].strategy = AbstainStrategy()
+        players[8].strategy = AbstainStrategy()
+        config = ProtocolConfig(n=n, t0=t0, max_rounds=2, timeout=20.0)
+        result = run_consensus(
+            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=300.0
+        )
+        assert result.final_block_count() == 2
+
+
+class TestLowerViolation:
+    """τ ≤ ⌊(n+t0)/2⌋: a partitioned adversarial leader reaches
+    conflicting agreement in both halves."""
+
+    def _run_with_quorum(self, quorum):
+        n = 9
+        players = roster(n, byzantine_ids=[0, 1, 2])
+        shared = {}
+        ga, gb = {3, 4, 5}, {6, 7, 8}
+        for pid in (0, 1, 2):
+            players[pid].strategy = EquivocateStrategy(
+                group_a=ga, group_b=gb, colluders={0, 1, 2}, shared_sides=shared
+            )
+        config = ProtocolConfig(n=n, t0=2, quorum=quorum, max_rounds=1, timeout=50.0)
+        partitions = PartitionSchedule()
+        partitions.add(Partition.of(ga, gb), 0.0, 40.0)
+        return run_consensus(
+            prft_factory,
+            players,
+            config,
+            delay_model=FixedDelay(1.0),
+            partitions=partitions,
+            max_time=45.0,
+        )
+
+    def test_agreement_fails_below_window(self):
+        window_low = ProtocolConfig(n=9, t0=2).admissible_quorum_window.start
+        result = self._run_with_quorum(window_low - 1)  # tau = floor((n+t0)/2) = 5
+        assert result.system_state() is SystemState.FORK
+
+    def test_agreement_holds_inside_window(self):
+        result = self._run_with_quorum(7)  # n - t0
+        assert result.system_state() is not SystemState.FORK

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, build_players, main, report, run_scenario
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["honest"])
+        assert args.protocol == "prft"
+        assert args.n == 9 and args.rounds == 3
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["honest", "--protocol", "raft"])
+
+
+class TestBuildPlayers:
+    def test_honest_roster(self):
+        args = build_parser().parse_args(["honest", "-n", "5"])
+        players = build_players(args)
+        assert len(players) == 5
+        assert all(p.is_honest for p in players)
+
+    def test_attack_roster_roles(self):
+        args = build_parser().parse_args(["fork", "-n", "9", "--rational", "2", "--byzantine", "1"])
+        players = build_players(args)
+        assert sum(p.is_rational for p in players) == 2
+        assert sum(p.is_byzantine for p in players) == 1
+
+    def test_oversized_collusion_rejected(self):
+        args = build_parser().parse_args(["fork", "-n", "4", "--rational", "3", "--byzantine", "1"])
+        with pytest.raises(SystemExit):
+            build_players(args)
+
+
+class TestScenarios:
+    def test_honest_scenario(self, capsys):
+        assert main(["honest", "-n", "5", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HONEST" in out
+        assert "final blocks" in out
+
+    def test_liveness_scenario(self, capsys):
+        assert main(["liveness", "-n", "9", "--rational", "3", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NO_PROGRESS" in out
+
+    def test_fork_scenario_burns_colluders(self, capsys):
+        assert main(["fork", "-n", "9", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "[0, 1, 2]" in out  # penalised players
+
+    def test_censorship_scenario_reports_resistance(self, capsys):
+        assert main(["censorship", "-n", "9", "--rational", "3", "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "censorship resistant" in out
+
+    def test_baseline_protocol(self, capsys):
+        assert main(["honest", "--protocol", "hotstuff", "-n", "5", "--rounds", "2"]) == 0
+        assert "hotstuff" in capsys.readouterr().out
+
+    def test_partial_synchrony_flag(self):
+        args = build_parser().parse_args(["honest", "-n", "5", "--rounds", "2", "--gst", "30"])
+        result = run_scenario(args)
+        assert result.final_block_count() >= 1

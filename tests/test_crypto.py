@@ -1,0 +1,169 @@
+"""Unit and property tests for the simulated PKI (repro.crypto)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import canonical_bytes, digest_hex, hash_value
+from repro.crypto.keys import KeyPair, generate_keypair
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, sign
+
+
+# ----------------------------------------------------------------------
+# Canonical serialisation / hashing
+# ----------------------------------------------------------------------
+class TestCanonicalBytes:
+    def test_none(self):
+        assert canonical_bytes(None) == b"N"
+
+    def test_bool_distinct_from_int(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(False) != canonical_bytes(0)
+
+    def test_string_and_bytes_distinct(self):
+        assert canonical_bytes("ab") != canonical_bytes(b"ab")
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical_bytes((1, 2)) == canonical_bytes([1, 2])
+
+    def test_nested_structures(self):
+        value = {"a": [1, 2, (3, "x")], "b": None}
+        assert canonical_bytes(value) == canonical_bytes(dict(value))
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({1, 2, 3})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_object_with_canonical_method(self):
+        class Wrapped:
+            def canonical(self):
+                return ("w", 1)
+
+        assert canonical_bytes(Wrapped()) == b"O" + canonical_bytes(("w", 1))
+
+    def test_string_length_prefix_prevents_concat_collisions(self):
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+
+    @given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+    def test_injective_on_int_lists(self, left, right):
+        if left != right:
+            assert canonical_bytes(left) != canonical_bytes(right)
+
+    @given(
+        st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=10)),
+            lambda inner: st.lists(inner, max_size=4),
+            max_leaves=12,
+        )
+    )
+    def test_deterministic(self, value):
+        assert canonical_bytes(value) == canonical_bytes(value)
+
+
+class TestHashValue:
+    def test_is_hex_sha256(self):
+        digest = hash_value("hello")
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_distinct_values_distinct_digests(self):
+        assert hash_value(("a", 1)) != hash_value(("a", 2))
+
+    def test_digest_hex_matches_hashlib(self):
+        import hashlib
+
+        assert digest_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+class TestKeys:
+    def test_deterministic_generation(self):
+        assert generate_keypair(3) == generate_keypair(3)
+
+    def test_different_players_different_keys(self):
+        assert generate_keypair(1).secret != generate_keypair(2).secret
+
+    def test_seed_namespacing(self):
+        assert generate_keypair(1, seed="a").secret != generate_keypair(1, seed="b").secret
+
+    def test_tampered_public_rejected(self):
+        keypair = generate_keypair(1)
+        with pytest.raises(ValueError):
+            KeyPair(player_id=1, secret=keypair.secret, public="0" * 64)
+
+
+# ----------------------------------------------------------------------
+# Signatures and registry
+# ----------------------------------------------------------------------
+class TestSignatures:
+    def setup_method(self):
+        self.registry = KeyRegistry.trusted_setup(range(4))
+
+    def test_sign_verify_roundtrip(self):
+        keypair = self.registry.keypair_of(0)
+        signature = sign(keypair, ("vote", 1))
+        assert self.registry.verify(signature, ("vote", 1))
+
+    def test_wrong_value_fails(self):
+        keypair = self.registry.keypair_of(0)
+        signature = sign(keypair, ("vote", 1))
+        assert not self.registry.verify(signature, ("vote", 2))
+
+    def test_forged_tag_fails(self):
+        forged = Signature(signer=0, tag="00" * 32)
+        assert not self.registry.verify(forged, ("vote", 1))
+
+    def test_signature_not_transferable_between_signers(self):
+        """A valid signature by player 0 cannot be claimed as player 1's."""
+        keypair = self.registry.keypair_of(0)
+        signature = sign(keypair, "msg")
+        stolen = Signature(signer=1, tag=signature.tag)
+        assert not self.registry.verify(stolen, "msg")
+
+    def test_unknown_signer_fails(self):
+        outsider = generate_keypair(99)
+        signature = sign(outsider, "msg")
+        assert not self.registry.verify(signature, "msg")
+
+    def test_verify_all(self):
+        sigs = [sign(self.registry.keypair_of(i), "v") for i in range(4)]
+        assert self.registry.verify_all(sigs, "v")
+        assert not self.registry.verify_all(sigs, "w")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            self.registry.register(0)
+
+    def test_known_players_sorted(self):
+        assert self.registry.known_players() == [0, 1, 2, 3]
+
+    def test_contains(self):
+        assert 2 in self.registry
+        assert 9 not in self.registry
+
+    @given(st.integers(min_value=0, max_value=3), st.text(max_size=20))
+    def test_roundtrip_property(self, player, text):
+        keypair = self.registry.keypair_of(player)
+        signature = sign(keypair, text)
+        assert self.registry.verify(signature, text)
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+    def test_cross_player_unforgeability(self, signer, victim):
+        """No player's signature verifies as another player's."""
+        if signer == victim:
+            return
+        signature = sign(self.registry.keypair_of(signer), "payload")
+        reattributed = Signature(signer=victim, tag=signature.tag)
+        assert not self.registry.verify(reattributed, "payload")
+
+    def test_signature_size_model(self):
+        keypair = self.registry.keypair_of(0)
+        assert sign(keypair, "x").size_bytes == 32

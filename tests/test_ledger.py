@@ -1,0 +1,307 @@
+"""Unit and property tests for the ledger substrate (repro.ledger)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ledger.block import Block, genesis_block
+from repro.ledger.chain import Chain, ConfirmationStatus
+from repro.ledger.collateral import CollateralRegistry
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import Transaction
+from repro.ledger.validation import (
+    chains_agree,
+    common_prefix_holds,
+    disagreement_heights,
+    strict_ordering_holds,
+)
+
+
+def _block(parent: Block, round_number: int, tag: str = "") -> Block:
+    txs = (Transaction(tx_id=f"tx-{round_number}-{tag}"),) if tag else ()
+    return Block(
+        round_number=round_number,
+        proposer=round_number % 4,
+        parent_digest=parent.digest,
+        transactions=txs,
+    )
+
+
+def _chain_of(length: int, tag: str = "") -> Chain:
+    chain = Chain()
+    for r in range(length):
+        block = _block(chain.head(), r, tag=tag or "x")
+        chain.append_tentative(block)
+        chain.finalize(block.digest)
+    return chain
+
+
+class TestBlock:
+    def test_digest_depends_on_round(self):
+        genesis = genesis_block()
+        a = Block(0, 0, genesis.digest, ())
+        b = Block(1, 0, genesis.digest, ())
+        assert a.digest != b.digest
+
+    def test_digest_depends_on_transactions(self):
+        genesis = genesis_block()
+        a = Block(0, 0, genesis.digest, (Transaction("t1"),))
+        b = Block(0, 0, genesis.digest, (Transaction("t2"),))
+        assert a.digest != b.digest
+
+    def test_contains(self):
+        block = Block(0, 0, genesis_block().digest, (Transaction("t1"),))
+        assert block.contains("t1")
+        assert not block.contains("t2")
+
+    def test_genesis_deterministic(self):
+        assert genesis_block().digest == genesis_block().digest
+
+    def test_size_estimate_counts_payload(self):
+        small = Block(0, 0, "p", (Transaction("t", payload=""),))
+        big = Block(0, 0, "p", (Transaction("t", payload="x" * 100),))
+        assert big.size_estimate_bytes == small.size_estimate_bytes + 100
+
+
+class TestChain:
+    def test_append_and_finalize(self):
+        chain = Chain()
+        block = _block(chain.head(), 0)
+        chain.append_tentative(block)
+        assert chain.status_of(block.digest) is ConfirmationStatus.TENTATIVE
+        chain.finalize(block.digest)
+        assert chain.status_of(block.digest) is ConfirmationStatus.FINAL
+        assert len(chain) == 1
+
+    def test_append_wrong_parent_rejected(self):
+        chain = Chain()
+        orphan = Block(0, 0, "f" * 64, ())
+        with pytest.raises(ValueError):
+            chain.append_tentative(orphan)
+
+    def test_duplicate_append_rejected(self):
+        chain = Chain()
+        block = _block(chain.head(), 0)
+        chain.append_tentative(block)
+        with pytest.raises(ValueError):
+            chain.append_tentative(block)
+
+    def test_finalize_unknown_digest_rejected(self):
+        with pytest.raises(KeyError):
+            Chain().finalize("0" * 64)
+
+    def test_finalize_cascades_to_ancestors(self):
+        chain = Chain()
+        first = _block(chain.head(), 0)
+        chain.append_tentative(first)
+        second = _block(chain.head(), 1)
+        chain.append_tentative(second)
+        chain.finalize(second.digest)
+        assert chain.status_of(first.digest) is ConfirmationStatus.FINAL
+
+    def test_rollback_drops_only_tentative_suffix(self):
+        chain = Chain()
+        first = _block(chain.head(), 0)
+        chain.append_tentative(first)
+        chain.finalize(first.digest)
+        second = _block(chain.head(), 1)
+        chain.append_tentative(second)
+        dropped = chain.rollback_tentative()
+        assert [b.digest for b in dropped] == [second.digest]
+        assert len(chain) == 1
+        assert chain.head().digest == first.digest
+
+    def test_rollback_empty_when_all_final(self):
+        chain = _chain_of(2)
+        assert chain.rollback_tentative() == []
+
+    def test_without_last(self):
+        chain = _chain_of(3)
+        full = chain.blocks(include_genesis=True)
+        assert chain.without_last(0) == full
+        assert chain.without_last(2) == full[:-2]
+
+    def test_without_last_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Chain().without_last(-1)
+
+    def test_contains_transaction_final_only(self):
+        chain = Chain()
+        block = Block(0, 0, chain.head().digest, (Transaction("t1"),))
+        chain.append_tentative(block)
+        assert chain.contains_transaction("t1")
+        assert not chain.contains_transaction("t1", final_only=True)
+        chain.finalize(block.digest)
+        assert chain.contains_transaction("t1", final_only=True)
+
+    def test_final_height(self):
+        chain = _chain_of(2)
+        assert chain.final_height() == 2
+        chain.append_tentative(_block(chain.head(), 5))
+        assert chain.final_height() == 2
+
+    @given(st.integers(min_value=0, max_value=6))
+    def test_length_matches_appends(self, count):
+        chain = Chain()
+        for r in range(count):
+            chain.append_tentative(_block(chain.head(), r))
+        assert len(chain) == count
+
+
+class TestMempool:
+    def test_submit_and_select_fifo(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.submit(Transaction(f"t{i}"))
+        assert [tx.tx_id for tx in pool.select(3)] == ["t0", "t1", "t2"]
+
+    def test_duplicates_ignored(self):
+        pool = Mempool()
+        assert pool.submit(Transaction("t"))
+        assert not pool.submit(Transaction("t"))
+        assert len(pool) == 1
+
+    def test_mark_included_removes(self):
+        pool = Mempool()
+        pool.submit_all([Transaction("a"), Transaction("b")])
+        pool.mark_included(["a"])
+        assert "a" not in pool
+        assert "b" in pool
+
+    def test_included_before_submission_never_pending(self):
+        pool = Mempool()
+        pool.mark_included(["a"])
+        pool.submit(Transaction("a"))
+        assert len(pool) == 0
+
+    def test_censor_filter(self):
+        pool = Mempool()
+        pool.submit_all([Transaction("a"), Transaction("b"), Transaction("c")])
+        selected = pool.select(3, censor={"b"})
+        assert [tx.tx_id for tx in selected] == ["a", "c"]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool().select(-1)
+
+
+class TestCollateral:
+    def test_enroll_and_burn(self):
+        registry = CollateralRegistry(deposit=10.0)
+        registry.enroll_all(range(3))
+        assert registry.balance_of(0) == 10.0
+        assert registry.burn(0, "test")
+        assert registry.balance_of(0) == 0.0
+        assert registry.penalty_of(0) == 10.0
+        assert registry.penalty_of(1) == 0.0
+
+    def test_burn_idempotent(self):
+        registry = CollateralRegistry()
+        registry.enroll(0)
+        assert registry.burn(0)
+        assert not registry.burn(0)
+        assert registry.burned_players() == {0}
+
+    def test_burn_all_counts_fresh(self):
+        registry = CollateralRegistry()
+        registry.enroll_all(range(3))
+        registry.burn(1)
+        assert registry.burn_all([0, 1, 2]) == 2
+
+    def test_unknown_player_rejected(self):
+        registry = CollateralRegistry()
+        with pytest.raises(KeyError):
+            registry.burn(9)
+
+    def test_duplicate_enroll_rejected(self):
+        registry = CollateralRegistry()
+        registry.enroll(0)
+        with pytest.raises(ValueError):
+            registry.enroll(0)
+
+    def test_lock_period(self):
+        registry = CollateralRegistry(lock_blocks=2)
+        registry.enroll(0)
+        assert not registry.withdrawable(0)
+        registry.note_block_mined()
+        registry.note_block_mined()
+        assert registry.withdrawable(0)
+
+    def test_burned_never_withdrawable(self):
+        registry = CollateralRegistry(lock_blocks=0)
+        registry.enroll(0)
+        registry.burn(0)
+        assert not registry.withdrawable(0)
+
+
+class TestValidation:
+    def test_identical_chains_agree(self):
+        left, right = _chain_of(3), _chain_of(3)
+        assert chains_agree({0: left, 1: right})
+        assert strict_ordering_holds({0: left, 1: right}, 0)
+        assert common_prefix_holds({0: left, 1: right}, 0)
+
+    def test_prefix_chains_agree(self):
+        long, short = _chain_of(4), _chain_of(2)
+        assert chains_agree({0: long, 1: short})
+        assert strict_ordering_holds({0: long, 1: short}, 0)
+
+    def test_forked_chains_detected(self):
+        left, right = _chain_of(2, tag="left"), _chain_of(2, tag="right")
+        chains = {0: left, 1: right}
+        assert not chains_agree(chains)
+        assert not strict_ordering_holds(chains, 0)
+        assert disagreement_heights(chains) == [1, 2]
+
+    def test_strict_ordering_suffix_tolerance(self):
+        """Chains differing only in their newest c blocks satisfy
+        c-strict ordering (Definition 1)."""
+        base = _chain_of(2)
+        other = _chain_of(2)
+        fork = Block(9, 0, other.head().digest, (Transaction("odd"),))
+        other.append_tentative(fork)
+        other.finalize(fork.digest)
+        straight = Block(9, 1, base.head().digest, (Transaction("even"),))
+        base.append_tentative(straight)
+        base.finalize(straight.digest)
+        chains = {0: base, 1: other}
+        assert not strict_ordering_holds(chains, 0)
+        assert strict_ordering_holds(chains, 1)
+
+    def test_tentative_divergence_allowed_in_final_mode(self):
+        left, right = _chain_of(2), _chain_of(2)
+        left.append_tentative(_block(left.head(), 7, tag="l"))
+        right.append_tentative(_block(right.head(), 7, tag="r"))
+        chains = {0: left, 1: right}
+        assert chains_agree(chains, final_only=True)
+        assert not chains_agree(chains, final_only=False)
+
+    def test_common_prefix_with_z(self):
+        left, right = _chain_of(2), _chain_of(2)
+        left.append_tentative(_block(left.head(), 7, tag="l"))
+        chains = {0: left, 1: right}
+        assert not common_prefix_holds(chains, 0)
+        assert common_prefix_holds(chains, 1)
+
+    def test_negative_parameters_rejected(self):
+        chains = {0: _chain_of(1)}
+        with pytest.raises(ValueError):
+            common_prefix_holds(chains, -1)
+        with pytest.raises(ValueError):
+            strict_ordering_holds(chains, -1)
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+    def test_shared_prefix_always_ordered(self, extra_left, extra_right):
+        """Property: two chains grown from a common finalised prefix by
+        disjoint suffixes satisfy c-strict ordering for c ≥ max suffix."""
+        left = _chain_of(2)
+        right = _chain_of(2)
+        for i in range(extra_left):
+            block = _block(left.head(), 100 + i, tag=f"L{i}")
+            left.append_tentative(block)
+            left.finalize(block.digest)
+        for i in range(extra_right):
+            block = _block(right.head(), 200 + i, tag=f"R{i}")
+            right.append_tentative(block)
+            right.finalize(block.digest)
+        c = max(extra_left, extra_right)
+        assert strict_ordering_holds({0: left, 1: right}, c)

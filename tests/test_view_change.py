@@ -1,0 +1,116 @@
+"""View-change sub-protocol tests (Section 5.2, Claim 2)."""
+
+import pytest
+
+from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
+from repro.analysis.robustness import check_robustness
+from repro.gametheory.states import SystemState
+from repro.net.delays import FixedDelay, PartialSynchronyDelay
+
+from tests.conftest import roster, run_prft
+
+
+class TestTimeoutPath:
+    def test_crashed_leader_triggers_view_change(self):
+        players = roster(8, byzantine_ids=[0])
+        players[0].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=3, timeout=10.0)
+        assert result.trace.count("view_change_sent") > 0
+        assert result.trace.count("view_change_committed") > 0
+
+    def test_round_skipped_without_block(self):
+        """The crashed leader's round produces no block; later honest
+        rounds still do."""
+        players = roster(8, byzantine_ids=[0])
+        players[0].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=3, timeout=10.0)
+        assert result.final_block_count() == 2  # rounds 1 and 2
+        assert check_robustness(result).agreement
+
+    def test_no_view_change_in_clean_run(self):
+        result = run_prft(roster(6), max_rounds=3)
+        assert result.trace.count("view_change_sent") == 0
+        assert result.trace.count("timeout") == 0
+
+    def test_view_change_resets_round_progress(self):
+        """After a view change, the next round chains onto the same
+        head (no tentative leak from the aborted round)."""
+        players = roster(8, byzantine_ids=[0])
+        players[0].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=2, timeout=10.0)
+        chain = next(iter(result.honest_chains().values()))
+        blocks = chain.final_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].round_number == 1
+
+
+class TestLeaderEquivocationTrigger:
+    def test_equivocating_leader_detected_by_colluder_free_observers(self):
+        """The leader's conflicting proposals are split across victim
+        groups; view-change evidence reunites them and the leader is
+        burned by honest observers alone."""
+        players = roster(8, byzantine_ids=[0])
+        players[0].strategy = EquivocateStrategy(
+            group_a={1, 2, 3}, group_b={4, 5, 6, 7}, colluders={0}
+        )
+        result = run_prft(players, max_rounds=2, timeout=10.0)
+        assert 0 in result.penalised_players()
+
+    def test_equivocation_across_split_still_converges(self):
+        players = roster(8, byzantine_ids=[0])
+        players[0].strategy = EquivocateStrategy(
+            group_a={1, 2, 3}, group_b={4, 5, 6, 7}, colluders={0}
+        )
+        result = run_prft(players, max_rounds=3, timeout=10.0)
+        assert check_robustness(result).agreement
+
+
+class TestClaim2Consistency:
+    """Claim 2: no honest player finalises round r while another honest
+    player commits to a view change for r (checked over many timings)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_no_round_both_finalized_and_view_changed(self, seed):
+        players = roster(9, byzantine_ids=[0])
+        players[0].strategy = AbstainStrategy()
+        result = run_prft(
+            players,
+            max_rounds=3,
+            timeout=20.0,
+            delay=PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed),
+            max_time=500.0,
+        )
+        honest = set(result.honest_ids)
+        finalized_rounds = {
+            e.detail["round"] for e in result.trace.events("final") if e.player in honest
+        }
+        view_changed_rounds = {
+            e.detail["round"]
+            for e in result.trace.events("view_change_committed")
+            if e.player in honest
+        }
+        assert finalized_rounds.isdisjoint(view_changed_rounds)
+        assert check_robustness(result).agreement
+
+
+class TestClaim2Robustness:
+    """Claim 2: byzantine players alone cannot force a view change away
+    from an honest leader."""
+
+    def test_byzantine_view_change_spam_ignored(self):
+        # byzantine players (outside the first max_rounds leader slots)
+        # abstain; their absence alone (2 <= t0) cannot reach the
+        # n - t0 view-change quorum against honest leaders
+        players = roster(9, byzantine_ids=[7, 8])
+        players[7].strategy = AbstainStrategy()
+        players[8].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=3, timeout=30.0)
+        assert result.final_block_count() == 3
+        assert result.system_state() is SystemState.HONEST
+
+    def test_honest_leader_rounds_always_finalize_with_t_le_t0(self):
+        players = roster(13, byzantine_ids=[11, 12])
+        players[11].strategy = AbstainStrategy()
+        players[12].strategy = AbstainStrategy()
+        result = run_prft(players, max_rounds=3, timeout=30.0)
+        assert result.final_block_count() == 3
