@@ -1,0 +1,32 @@
+# Developer / CI entry points.  `make check` is the gate: tier-1 tests
+# plus a ~10-second smoke sweep through the CLI and the parallel engine.
+
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: check test smoke bench bench-scaling example clean
+
+check: test smoke
+	@echo "check: OK"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro.cli list-scenarios
+	$(PYTHON) -m repro.cli sweep honest --grid n=4,5 --seeds 2 --jobs 2 --out /tmp/repro-smoke.json
+	$(PYTHON) -m repro.cli run honest -n 5 --rounds 2
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-scaling:
+	$(PYTHON) -m pytest benchmarks/bench_sweep_scaling.py --benchmark-only -s
+
+example:
+	$(PYTHON) examples/sweep_quickstart.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

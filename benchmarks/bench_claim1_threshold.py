@@ -1,60 +1,36 @@
 """E10 — Claim 1: the agreement threshold window
-τ ∈ [⌊(n+t0)/2⌋ + 1, n − t0] is necessary."""
+τ ∈ [⌊(n+t0)/2⌋ + 1, n − t0] is necessary.
 
-from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
+Ported onto the experiments layer: the two violation constructions are
+the registered ``partition-fork`` (equivocating coalition behind a
+partition — τ too low forks) and ``claim1-abstention`` (t0 abstainers
+— τ too high stalls) scenarios, and the τ sweep itself runs through
+``run_sweep`` with ``quorum`` as the grid axis.
+"""
+
 from repro.analysis.report import render_table
-from repro.core.replica import prft_factory
+from repro.experiments import get_scenario, run_sweep
 from repro.gametheory.states import SystemState
-from repro.net.delays import FixedDelay
-from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import run_consensus
 
-from benchmarks.helpers import once, roster
-
-
-def _abstention_run(quorum):
-    """τ too high: t0 byzantine abstainers kill liveness."""
-    n, t0 = 9, 2
-    players = roster(n, byzantine_ids=[7, 8])
-    for pid in (7, 8):
-        players[pid].strategy = AbstainStrategy()
-    config = ProtocolConfig(n=n, t0=t0, quorum=quorum, max_rounds=2, timeout=10.0)
-    return run_consensus(
-        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=200.0
-    )
-
-
-def _partition_run(quorum):
-    """τ too low: a partitioned equivocating coalition forks."""
-    n = 9
-    players = roster(n, byzantine_ids=[0, 1, 2])
-    shared = {}
-    ga, gb = {3, 4, 5}, {6, 7, 8}
-    for pid in (0, 1, 2):
-        players[pid].strategy = EquivocateStrategy(
-            group_a=ga, group_b=gb, colluders={0, 1, 2}, shared_sides=shared
-        )
-    config = ProtocolConfig(n=n, t0=2, quorum=quorum, max_rounds=1, timeout=50.0)
-    partitions = PartitionSchedule()
-    partitions.add(Partition.of(ga, gb), 0.0, 40.0)
-    return run_consensus(
-        prft_factory, players, config,
-        delay_model=FixedDelay(1.0), partitions=partitions, max_time=45.0,
-    )
+from benchmarks.helpers import once
 
 
 def _sweep():
     window = ProtocolConfig(n=9, t0=2).admissible_quorum_window
     rows = []
-    low_violation = _partition_run(window.start - 1)
-    rows.append(
-        [window.start - 1, "below window", low_violation.system_state().name]
+    partition_sweep = run_sweep(
+        get_scenario("partition-fork"),
+        grid={"quorum": [window.start - 1, window.stop - 1]},
+        seeds=[0],
     )
-    inside = _partition_run(window.stop - 1)
-    rows.append([window.stop - 1, "inside window", inside.system_state().name])
-    high_violation = _abstention_run(9)  # tau = n > n - t0
-    rows.append([9, "above window", high_violation.system_state().name])
+    below, inside = partition_sweep.records
+    rows.append([window.start - 1, "below window", below.state])
+    rows.append([window.stop - 1, "inside window", inside.state])
+    above = run_sweep(
+        get_scenario("claim1-abstention"), grid={"quorum": [9]}, seeds=[0]
+    ).records[0]  # tau = n > n - t0
+    rows.append([9, "above window", above.state])
     return window, rows
 
 

@@ -1,24 +1,22 @@
 """E6 — Theorem 1: θ=3 rational players make RC impossible for
-n/3 ≤ k+t < n/2 via the unaccountable π_abs liveness attack."""
+n/3 ≤ k+t < n/2 via the unaccountable π_abs liveness attack.
+
+Ported onto the experiments layer: the run is the registered
+``liveness`` scenario (n=9, coalition 4: n/3 = 3 ≤ 4 ≤ ⌈n/2⌉−1 = 4)
+executed through the scenario registry instead of a hand-rolled
+roster + ``run_consensus`` call.
+"""
 
 from repro.analysis.report import render_table
-from repro.core.replica import prft_factory
+from repro.experiments import get_scenario
 from repro.gametheory.payoff import PlayerType
 from repro.gametheory.states import SystemState
-from repro.protocols.base import ProtocolConfig
 
-from benchmarks.helpers import attack_run, once
+from benchmarks.helpers import once
 
 
 def _experiment():
-    n = 9  # coalition 4: n/3 = 3 <= 4 <= ceil(n/2)-1 = 4
-    config = ProtocolConfig.for_prft(n=n, max_rounds=3, timeout=10.0)
-    result = attack_run(
-        prft_factory, n, rational_ids=[0, 1, 2], byzantine_ids=[3],
-        attack="liveness", config=config,
-        theta=PlayerType.LIVENESS_ATTACKING, max_time=300.0,
-    )
-    return result
+    return get_scenario("liveness").run(seed=0)
 
 
 def test_theorem1_liveness_attack(benchmark):

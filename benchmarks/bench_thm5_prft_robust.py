@@ -3,50 +3,44 @@
 Sweeps every deviation strategy for a rational player under pRFT and
 reports the realised utility against π0; then runs the full fork
 collusion at the paper's bounds and checks Definition 1.
+
+Ported onto the experiments layer: the deviation sweep runs the
+registered ``lone-abstainer`` / ``lone-equivocator`` scenarios (plus
+an honest π_0 reference), and the collusion run is the registered
+``thm5-collusion`` scenario.
 """
 
-from repro.agents.strategies import AbstainStrategy, EquivocateStrategy
 from repro.analysis.accountability import check_accountability
 from repro.analysis.report import render_table
 from repro.analysis.robustness import check_robustness
-from repro.core.replica import prft_factory
+from repro.experiments import get_scenario
 from repro.gametheory.payoff import PlayerType
-from repro.protocols.base import ProtocolConfig
-from repro.net.delays import FixedDelay
-from repro.protocols.runner import run_consensus
 
-from benchmarks.helpers import attack_run, once, roster
+from benchmarks.helpers import once
+
+DEVIATIONS = {
+    # π_0: the equivocator scenario with the attack stripped — an
+    # all-honest-behaviour roster that keeps player 5's rational role.
+    "pi_0": get_scenario("lone-equivocator").with_params(name="lone-compliant", attack=None),
+    "pi_abs": get_scenario("lone-abstainer"),
+    "pi_ds": get_scenario("lone-equivocator"),
+}
 
 
 def _deviation_sweep():
     """U(π) for a lone rational player 5, per strategy (n=9)."""
-    n = 9
     utilities = {}
     burned = {}
-    for name, strategy in [
-        ("pi_0", None),
-        ("pi_abs", AbstainStrategy()),
-        ("pi_ds", EquivocateStrategy(colluders={5})),
-    ]:
-        players = roster(n, rational_ids=[5])
-        if strategy is not None:
-            players[5].strategy = strategy
-        config = ProtocolConfig.for_prft(n=n, max_rounds=3, timeout=15.0)
-        result = run_consensus(
-            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
-        )
+    for name, scenario in DEVIATIONS.items():
+        result = scenario.run(seed=0)
         utilities[name] = result.realised_utility(5, PlayerType.FORK_SEEKING)
         burned[name] = 5 in result.penalised_players()
     return utilities, burned
 
 
 def _collusion_run():
-    n = 13  # t0 = 3, k + t = 6 < 6.5, t = 2 <= t0
-    config = ProtocolConfig.for_prft(n=n, max_rounds=4, timeout=15.0)
-    return attack_run(
-        prft_factory, n, rational_ids=[0, 1, 2, 3], byzantine_ids=[4, 5],
-        attack="fork", config=config, max_time=800.0,
-    )
+    # n=13: t0 = 3, k + t = 6 < 6.5, t = 2 <= t0
+    return get_scenario("thm5-collusion").run(seed=0)
 
 
 def test_lemma4_honest_is_dominant(benchmark):

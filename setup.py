@@ -1,9 +1,48 @@
-"""Setuptools shim for environments without the ``wheel`` package.
+"""Package metadata and the ``repro`` console-script entry point.
 
-``pip install -e .`` with legacy (non-PEP-517) builds uses
-``setup.py develop``, which works offline; all real metadata lives in
-pyproject.toml.
+``pip install -e .`` from the repo root installs the src-layout
+package and puts a real ``repro`` command on PATH (equivalent to
+``python -m repro.cli``).  The build intentionally sticks to plain
+setuptools so it works offline without wheel/PEP-517 tooling.
 """
-from setuptools import setup
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+
+def _readme() -> str:
+    path = os.path.join(os.path.dirname(__file__), "README.md")
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+setup(
+    name="repro-rational-consensus",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards Rational Consensus in Honest Majority' "
+        "(Srivastava & Gujar, ICDCS 2024): the pRFT protocol, rational "
+        "threat models, baselines and a deterministic simulation substrate."
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -18,6 +18,14 @@ Quickstart::
     print(result.system_state())          # SystemState.HONEST
     print(result.final_block_count())     # 3
 
+Scenario sweeps (grids of committee sizes, attacks, synchrony models,
+seeds) run through the experiment-orchestration layer::
+
+    from repro import get_scenario, run_sweep
+
+    sweep = run_sweep(get_scenario("honest"), grid={"n": [4, 8, 16]},
+                      seeds=10, jobs=4)
+
 See ``examples/`` for attack scenarios and ``benchmarks/`` for the
 regeneration of every table and figure in the paper.
 """
@@ -54,6 +62,16 @@ from repro.net.delays import (
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.runner import RunResult, make_transactions, run_consensus
+from repro.experiments import (
+    RunRecord,
+    Scenario,
+    SweepResult,
+    expand_grid,
+    get_scenario,
+    register_scenario,
+    run_sweep,
+    scenario_catalog,
+)
 
 __version__ = "1.0.0"
 
@@ -80,8 +98,11 @@ __all__ = [
     "PlayerType",
     "ProtocolConfig",
     "Role",
+    "RunRecord",
     "RunResult",
+    "Scenario",
     "Strategy",
+    "SweepResult",
     "SynchronousDelay",
     "SystemState",
     "Transaction",
@@ -90,12 +111,17 @@ __all__ = [
     "build_baiting_game",
     "byzantine_player",
     "classify_state",
+    "expand_grid",
+    "get_scenario",
     "honest_player",
     "honest_roster",
     "make_transactions",
     "payoff",
     "prft_factory",
     "rational_player",
+    "register_scenario",
     "run_consensus",
+    "run_sweep",
+    "scenario_catalog",
     "__version__",
 ]

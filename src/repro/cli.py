@@ -1,50 +1,50 @@
-"""Command-line interface: run named scenarios without writing code.
+"""Command-line interface: scenarios, sweeps and the catalog.
 
-Usage::
+Subcommands::
 
-    python -m repro.cli honest --protocol prft -n 8 --rounds 3
-    python -m repro.cli fork -n 9 --rational 2 --byzantine 1
-    python -m repro.cli liveness -n 9
-    python -m repro.cli censorship -n 9 --rounds 9
+    repro run <scenario> [...]        # one scenario, one run
+    repro sweep <scenario> [...]      # parameter grid x seeds, parallel
+    repro list-scenarios              # the registered catalog
 
-Each scenario prints the terminal system state, the ledger lengths,
+Examples::
+
+    repro run honest --protocol prft -n 8 --rounds 3
+    repro run fork -n 9 --rational 2 --byzantine 1
+    repro sweep honest --grid n=4,8,16,32 --seeds 10 --jobs 8 --out results.json
+    repro sweep partition-fork --grid quorum=5,6,7 --seeds 5
+    repro list-scenarios
+
+The bare legacy form ``repro honest -n 8`` (no subcommand) keeps
+working: a leading CLI scenario name is routed to ``run``.
+
+``run`` prints the terminal system state, the ledger lengths,
 penalised players, and the robustness verdict — the same quantities
-the paper's analysis is about.
+the paper's analysis is about.  ``sweep`` prints per-grid-point
+aggregates and can persist full records as JSON/CSV.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.agents.collusion import Collusion, assign_strategies
-from repro.agents.player import (
-    Player,
-    byzantine_player,
-    honest_player,
-    rational_player,
-)
-from repro.agents.strategies import HonestStrategy
+from repro.agents.player import Player
 from repro.analysis.report import render_table
 from repro.analysis.robustness import check_robustness
-from repro.core.replica import prft_factory
+from repro.experiments.registry import (
+    PROTOCOL_FACTORIES,
+    Scenario,
+    get_scenario,
+    scenario_catalog,
+)
+from repro.experiments.results import write_csv, write_json
+from repro.experiments.sweep import expand_grid, run_sweep
 from repro.gametheory.payoff import PlayerType
-from repro.net.delays import FixedDelay, PartialSynchronyDelay
-from repro.protocols.base import ProtocolConfig
-from repro.protocols.hotstuff import hotstuff_factory
-from repro.protocols.pbft import pbft_factory
-from repro.protocols.polygraph import polygraph_factory
-from repro.protocols.runner import RunResult, run_consensus
-from repro.protocols.trap import trap_factory
+from repro.protocols.runner import RunResult
 
-FACTORIES = {
-    "prft": prft_factory,
-    "pbft": pbft_factory,
-    "hotstuff": hotstuff_factory,
-    "polygraph": polygraph_factory,
-    "trap": trap_factory,
-}
+FACTORIES = PROTOCOL_FACTORIES  # legacy alias; the registry owns the map
 
 ATTACK_THETA = {
     "fork": PlayerType.FORK_SEEKING,
@@ -52,14 +52,15 @@ ATTACK_THETA = {
     "liveness": PlayerType.LIVENESS_ATTACKING,
 }
 
+LEGACY_SCENARIOS = ("honest", "fork", "liveness", "censorship")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Run rational-consensus scenarios from the paper.",
-    )
+
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
+def _add_run_arguments(parser: argparse.ArgumentParser, choices: Sequence[str] = LEGACY_SCENARIOS) -> None:
     parser.add_argument(
-        "scenario", choices=["honest", "fork", "liveness", "censorship"],
+        "scenario", choices=choices,
         help="which scenario to run",
     )
     parser.add_argument("--protocol", choices=sorted(FACTORIES), default="prft")
@@ -70,50 +71,101 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeout", type=float, default=15.0, help="phase timeout Δ")
     parser.add_argument("--gst", type=float, default=None, help="run partially synchronous with this GST")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The single-scenario (``run``) parser, also the legacy entry."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run rational-consensus scenarios from the paper.",
+    )
+    _add_run_arguments(parser)
     return parser
 
 
+def build_cli_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rational-consensus scenarios, sweeps and catalog.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario once and print its report"
+    )
+    # `run` accepts the whole catalog; the roster flags only shape the
+    # four legacy scenarios (catalog entries carry their own roster).
+    all_scenarios = sorted(set(LEGACY_SCENARIOS) | set(scenario_catalog()))
+    _add_run_arguments(run_parser, choices=all_scenarios)
+    run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter grid x seeds sweep, optionally in parallel"
+    )
+    sweep_parser.add_argument(
+        "scenario", help="a registered scenario (see `repro list-scenarios`)"
+    )
+    sweep_parser.add_argument(
+        "--grid", action="append", default=[], metavar="AXIS=V1,V2,...",
+        help="sweep axis over scenario fields; repeatable, e.g. --grid n=4,8,16",
+    )
+    sweep_parser.add_argument("--seeds", type=int, default=1, help="seeds 0..S-1 per grid point")
+    sweep_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep_parser.add_argument("--out", default=None, help="write records + aggregates as JSON")
+    sweep_parser.add_argument("--csv", default=None, help="write flat records as CSV")
+    sweep_parser.add_argument(
+        "--timings", action="store_true",
+        help="include per-run wall times in files (breaks byte-for-byte determinism)",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
+
+    list_parser = subparsers.add_parser(
+        "list-scenarios", help="list the registered scenario catalog"
+    )
+    list_parser.set_defaults(func=cmd_list_scenarios)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Legacy single-scenario pipeline (kept as the `run` implementation)
+# ----------------------------------------------------------------------
+def scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Translate `repro run` flags into a declarative Scenario."""
+    attack = None if args.scenario == "honest" else args.scenario
+    try:
+        return Scenario(
+            name=args.scenario,
+            protocol=args.protocol,
+            n=args.n,
+            rounds=args.rounds,
+            rational=0 if attack is None else args.rational,
+            byzantine=0 if attack is None else args.byzantine,
+            theta=int(ATTACK_THETA[attack]) if attack else int(PlayerType.ALIGNED),
+            attack=attack,
+            censored_tx_ids=("tx-0",) if attack == "censorship" else (),
+            delay="partial" if args.gst is not None else "fixed",
+            gst=args.gst or 0.0,
+            timeout=args.timeout,
+            max_time=1_000.0,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def build_players(args: argparse.Namespace) -> List[Player]:
-    if args.scenario == "honest":
-        return [honest_player(i) for i in range(args.n)]
-    theta = ATTACK_THETA[args.scenario]
-    if args.rational + args.byzantine >= args.n:
-        raise SystemExit("rational + byzantine must be fewer than n")
-    players: List[Player] = []
-    for i in range(args.n):
-        if i < args.rational:
-            players.append(rational_player(i, theta))
-        elif i < args.rational + args.byzantine:
-            players.append(byzantine_player(i, HonestStrategy()))
-        else:
-            players.append(honest_player(i))
-    censored = ["tx-0"] if args.scenario == "censorship" else None
-    assign_strategies(players, Collusion.of(players), args.scenario, censored_tx_ids=censored)
-    return players
+    return scenario_from_args(args).build_players()
 
 
 def run_scenario(args: argparse.Namespace) -> RunResult:
-    players = build_players(args)
-    if args.protocol == "prft":
-        config = ProtocolConfig.for_prft(n=args.n, max_rounds=args.rounds, timeout=args.timeout)
-    else:
-        config = ProtocolConfig.for_bft(n=args.n, max_rounds=args.rounds, timeout=args.timeout)
-    if args.gst is not None:
-        delay = PartialSynchronyDelay(gst=args.gst, delta=1.0, seed=args.seed)
-    else:
-        delay = FixedDelay(1.0)
-    return run_consensus(
-        FACTORIES[args.protocol], players, config, delay_model=delay,
-        max_time=1_000.0 + (args.gst or 0.0) * 5,
-    )
+    return scenario_from_args(args).run(seed=args.seed)
 
 
-def report(result: RunResult, args: argparse.Namespace) -> str:
-    censored = ["tx-0"] if args.scenario == "censorship" else None
+def scenario_report(result: RunResult, scenario: Scenario) -> str:
+    censored = list(scenario.censored_tx_ids) or None
     verdict = check_robustness(result, censored_tx_ids=censored)
     rows = [
-        ["scenario", args.scenario],
-        ["protocol", args.protocol],
+        ["scenario", scenario.name],
+        ["protocol", scenario.protocol],
         ["system state", result.system_state(censored_tx_ids=censored).name],
         ["final blocks", result.final_block_count()],
         ["penalised players", sorted(result.penalised_players())],
@@ -128,11 +180,140 @@ def report(result: RunResult, args: argparse.Namespace) -> str:
     return render_table(["quantity", "value"], rows, title="repro scenario result")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    result = run_scenario(args)
-    print(report(result, args))
+def report(result: RunResult, args: argparse.Namespace) -> str:
+    """Legacy flag-namespace entry point; delegates to scenario_report."""
+    return scenario_report(result, scenario_from_args(args))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario in LEGACY_SCENARIOS:
+        scenario = scenario_from_args(args)
+    else:
+        scenario = get_scenario(args.scenario)
+    result = scenario.run(seed=args.seed)
+    print(scenario_report(result, scenario))
     return 0
+
+
+# ----------------------------------------------------------------------
+# Sweep and catalog subcommands
+# ----------------------------------------------------------------------
+def _parse_grid_value(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_grid(specs: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``axis=v1,v2,...`` flags into a grid mapping."""
+    grid: Dict[str, List[Any]] = {}
+    for spec in specs:
+        axis, separator, values = spec.partition("=")
+        if not separator or not axis or not values:
+            raise SystemExit(f"bad --grid spec {spec!r}; expected AXIS=V1,V2,...")
+        if axis in grid:
+            raise SystemExit(f"duplicate --grid axis {axis!r}")
+        grid[axis] = [_parse_grid_value(value) for value in values.split(",")]
+    return grid
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]))
+    grid = parse_grid(args.grid)
+    if args.jobs < 1:
+        raise SystemExit("jobs must be at least 1")
+    try:
+        # Expanding the grid exercises all scenario validation up front,
+        # so bad inputs die with a one-line message while genuine
+        # simulator failures during the run keep their traceback.
+        # KeyError.args[0] avoids the quoted repr of str(KeyError).
+        expand_grid(scenario, grid=grid, seeds=args.seeds)
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error))
+    sweep = run_sweep(scenario, grid=grid, seeds=args.seeds, jobs=args.jobs)
+    rows = []
+    for summary in sweep.aggregates():
+        point = ", ".join(f"{k}={v}" for k, v in summary["params"].items()) or "-"
+        states = ", ".join(f"{name}:{count}" for name, count in summary["states"].items())
+        rows.append([
+            point,
+            summary["runs"],
+            summary["robust_fraction"],
+            states,
+            summary["mean_final_blocks"],
+            summary["mean_messages"],
+        ])
+    print(render_table(
+        ["grid point", "runs", "robust", "states", "blocks", "msgs"],
+        rows,
+        title=(
+            f"sweep {scenario.name}: {len(sweep.records)} runs, "
+            f"jobs={args.jobs}, wall {sweep.wall_time:.2f}s"
+        ),
+    ))
+    if args.out:
+        write_json(args.out, sweep.records, meta=sweep.meta(), include_timing=args.timings)
+        print(f"wrote {len(sweep.records)} records to {args.out}")
+    if args.csv:
+        write_csv(args.csv, sweep.records, include_timing=args.timings)
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for name, scenario in scenario_catalog().items():
+        deviators = f"{len(scenario.resolved_rational_ids())}R+{len(scenario.resolved_byzantine_ids())}B"
+        rows.append([
+            name,
+            scenario.protocol,
+            scenario.n,
+            deviators,
+            scenario.attack or "-",
+            scenario.delay,
+            scenario.description[:60],
+        ])
+    print(render_table(
+        ["scenario", "protocol", "n", "deviators", "attack", "delay", "description"],
+        rows,
+        title=f"{len(rows)} registered scenarios",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    subcommands = ("run", "sweep", "list-scenarios")
+    legacy = (
+        argv
+        and argv[0] not in subcommands
+        and argv[0] not in ("-h", "--help")
+        and any(argument in LEGACY_SCENARIOS for argument in argv)
+    )
+    try:
+        if legacy:
+            # Back-compat: `repro honest -n 8` and the flags-first form
+            # `repro --protocol pbft honest` both route to `run`.
+            args = build_parser().parse_args(argv)
+            return cmd_run(args)
+        args = build_cli_parser().parse_args(argv)
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`); exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,456 @@
+"""Declarative scenarios and the decorator-based scenario catalog.
+
+A :class:`Scenario` is a frozen, fully-declarative description of one
+deployment: protocol, roster, attack, synchrony model, partitions and
+protocol parameters.  Because every field is a plain value (no lambdas,
+no live objects), scenarios pickle cleanly across process boundaries —
+the property the parallel sweep engine in
+:mod:`repro.experiments.sweep` relies on — and any field can serve as a
+sweep axis via :meth:`Scenario.with_params`.
+
+The catalog is populated with :func:`register_scenario`::
+
+    @register_scenario
+    def honest() -> Scenario:
+        \"\"\"All players honest; the sigma_0 baseline.\"\"\"
+        return Scenario(name="honest", n=9, rounds=3)
+
+and queried with :func:`get_scenario` / :func:`scenario_catalog`.
+Several catalog entries (partition schedules, GST sweeps, mixed-θ
+collusions, cross-protocol grids) are deliberately *not* expressible
+through the legacy single-scenario CLI flags — they exist to be swept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.collusion import Collusion, assign_strategies
+from repro.agents.player import (
+    Player,
+    byzantine_player,
+    honest_player,
+    rational_player,
+)
+from repro.agents.strategies import HonestStrategy
+from repro.core.replica import prft_factory
+from repro.gametheory.payoff import PlayerType
+from repro.net.delays import (
+    AsynchronousDelay,
+    DelayModel,
+    FixedDelay,
+    PartialSynchronyDelay,
+    SynchronousDelay,
+)
+from repro.net.partition import Partition, PartitionSchedule
+from repro.protocols.base import ProtocolConfig
+from repro.protocols.hotstuff import hotstuff_factory
+from repro.protocols.pbft import pbft_factory
+from repro.protocols.polygraph import polygraph_factory
+from repro.protocols.runner import RunResult, run_consensus
+from repro.protocols.trap import trap_factory
+
+PROTOCOL_FACTORIES = {
+    "prft": prft_factory,
+    "pbft": pbft_factory,
+    "hotstuff": hotstuff_factory,
+    "polygraph": polygraph_factory,
+    "trap": trap_factory,
+}
+
+ATTACKS = ("fork", "liveness", "censorship")
+
+DELAY_MODELS = ("fixed", "synchronous", "asynchronous", "partial")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declaratively-specified consensus deployment.
+
+    Roster: ``rational``/``byzantine`` counts place deviators at the
+    lowest free ids (matching the CLI's convention); ``rational_ids``/
+    ``byzantine_ids`` override with explicit placements.  ``theta``
+    sets every rational player's type; ``thetas`` overrides per player
+    (one entry per rational id, in ascending id order).
+
+    Attack: ``attack`` is one of :data:`ATTACKS` or None.  The maximal
+    collusion K ∪ T executes it (censorship needs ``censored_tx_ids``).
+
+    Synchrony: ``delay`` picks the model — ``fixed``/``synchronous``
+    are bounded by ``delta``; ``asynchronous`` is heavy-tailed;
+    ``partial`` is asynchronous before ``gst`` and Δ-bounded after.
+    Stochastic models draw from the per-run seed, so one scenario and
+    one seed always replay the identical execution.
+
+    Partitions: ``partition_windows`` lists ``(start, end)`` windows
+    during which ``partition_groups`` cannot exchange messages.  Empty
+    ``partition_groups`` defaults to the collusion's victim split
+    (group A vs group B), the construction the paper's fork arguments
+    use.
+    """
+
+    name: str
+    description: str = ""
+    protocol: str = "prft"
+    n: int = 9
+    rounds: int = 3
+    rational: int = 0
+    byzantine: int = 0
+    rational_ids: Tuple[int, ...] = ()
+    byzantine_ids: Tuple[int, ...] = ()
+    theta: int = int(PlayerType.FORK_SEEKING)
+    thetas: Tuple[int, ...] = ()
+    attack: Optional[str] = None
+    censored_tx_ids: Tuple[str, ...] = ()
+    delay: str = "fixed"
+    delta: float = 1.0
+    gst: float = 0.0
+    timeout: float = 15.0
+    quorum: Optional[int] = None
+    t0: Optional[int] = None
+    tolerance: str = "prft"
+    block_size: int = 4
+    deposit: float = 10.0
+    alpha: float = 1.0
+    partition_windows: Tuple[Tuple[float, float], ...] = ()
+    partition_groups: Tuple[Tuple[int, ...], ...] = ()
+    tx_count: Optional[int] = None
+    max_time: float = 2_000.0
+    max_events: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_FACTORIES:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOL_FACTORIES)}"
+            )
+        if self.attack is not None and self.attack not in ATTACKS:
+            raise ValueError(f"unknown attack {self.attack!r}; choose from {ATTACKS}")
+        if self.delay not in DELAY_MODELS:
+            raise ValueError(f"unknown delay model {self.delay!r}; choose from {DELAY_MODELS}")
+        if self.tolerance not in ("prft", "bft"):
+            raise ValueError("tolerance must be 'prft' or 'bft'")
+        if self.attack == "censorship" and not self.censored_tx_ids:
+            raise ValueError("censorship scenarios need censored_tx_ids")
+        rationals = self.resolved_rational_ids()
+        byzantines = self.resolved_byzantine_ids()
+        if set(rationals) & set(byzantines):
+            raise ValueError("a player cannot be both rational and byzantine")
+        deviators = set(rationals) | set(byzantines)
+        if deviators and (min(deviators) < 0 or max(deviators) >= self.n):
+            raise ValueError("deviator ids must lie in [0, n)")
+        if len(deviators) >= self.n and self.n > 0:
+            raise ValueError("rational + byzantine must be fewer than n")
+        if self.thetas and len(self.thetas) != len(rationals):
+            raise ValueError("thetas must have one entry per rational player")
+
+    # ------------------------------------------------------------------
+    # Roster resolution
+    # ------------------------------------------------------------------
+    def resolved_rational_ids(self) -> Tuple[int, ...]:
+        if self.rational_ids:
+            return tuple(sorted(self.rational_ids))
+        return tuple(range(self.rational))
+
+    def resolved_byzantine_ids(self) -> Tuple[int, ...]:
+        if self.byzantine_ids:
+            return tuple(sorted(self.byzantine_ids))
+        taken = set(self.resolved_rational_ids())
+        ids: List[int] = []
+        candidate = 0
+        while len(ids) < self.byzantine and candidate < self.n:
+            if candidate not in taken:
+                ids.append(candidate)
+            candidate += 1
+        return tuple(ids)
+
+    def build_players(self) -> List[Player]:
+        """Materialise the roster and wire up the attack strategies."""
+        rationals = self.resolved_rational_ids()
+        byzantines = set(self.resolved_byzantine_ids())
+        theta_of: Dict[int, PlayerType] = {}
+        for index, pid in enumerate(rationals):
+            raw = self.thetas[index] if self.thetas else self.theta
+            theta_of[pid] = PlayerType(raw)
+        players: List[Player] = []
+        for i in range(self.n):
+            if i in theta_of:
+                players.append(rational_player(i, theta_of[i]))
+            elif i in byzantines:
+                players.append(byzantine_player(i, HonestStrategy()))
+            else:
+                players.append(honest_player(i))
+        if self.attack is not None:
+            assign_strategies(
+                players,
+                self.build_collusion(players),
+                self.attack,
+                censored_tx_ids=list(self.censored_tx_ids) or None,
+            )
+        return players
+
+    def build_collusion(self, players: Sequence[Player]) -> Collusion:
+        return Collusion.of(players)
+
+    # ------------------------------------------------------------------
+    # Deployment pieces
+    # ------------------------------------------------------------------
+    def build_config(self) -> ProtocolConfig:
+        common = dict(
+            max_rounds=self.rounds,
+            timeout=self.timeout,
+            quorum=self.quorum,
+            block_size=self.block_size,
+            deposit=self.deposit,
+            alpha=self.alpha,
+        )
+        if self.t0 is not None:
+            return ProtocolConfig(n=self.n, t0=self.t0, **common)
+        if self.tolerance == "bft" or self.protocol != "prft":
+            return ProtocolConfig.for_bft(n=self.n, **common)
+        return ProtocolConfig.for_prft(n=self.n, **common)
+
+    def build_delay(self, seed: int = 0) -> DelayModel:
+        if self.delay == "fixed":
+            return FixedDelay(self.delta)
+        if self.delay == "synchronous":
+            return SynchronousDelay(delta=self.delta, seed=seed)
+        if self.delay == "asynchronous":
+            return AsynchronousDelay(base_delay=self.delta, seed=seed)
+        return PartialSynchronyDelay(gst=self.gst, delta=self.delta, seed=seed)
+
+    def build_partitions(self, players: Sequence[Player]) -> Optional[PartitionSchedule]:
+        if not self.partition_windows:
+            return None
+        if self.partition_groups:
+            groups = [set(group) for group in self.partition_groups]
+        else:
+            collusion = self.build_collusion(players)
+            groups = [collusion.split_a, collusion.split_b]
+        schedule = PartitionSchedule()
+        for start, end in self.partition_windows:
+            schedule.add(Partition.of(*groups), start, end)
+        return schedule
+
+    def effective_max_time(self) -> float:
+        # Partial synchrony needs headroom past GST for quorums to form.
+        if self.delay == "partial":
+            return self.max_time + self.gst * 5
+        return self.max_time
+
+    # ------------------------------------------------------------------
+    # Execution and sweeping
+    # ------------------------------------------------------------------
+    def run(self, seed: int = 0) -> RunResult:
+        """Run this scenario once, deterministically for the seed."""
+        players = self.build_players()
+        transactions = None
+        if self.tx_count is not None:
+            from repro.protocols.runner import make_transactions
+
+            transactions = make_transactions(self.tx_count)
+        return run_consensus(
+            PROTOCOL_FACTORIES[self.protocol],
+            players,
+            self.build_config(),
+            delay_model=self.build_delay(seed=seed),
+            partitions=self.build_partitions(players),
+            transactions=transactions,
+            max_time=self.effective_max_time(),
+            max_events=self.max_events,
+            seed=f"{self.name}/{seed}",
+        )
+
+    def with_params(self, **overrides: Any) -> "Scenario":
+        """A copy with the named fields replaced (sweep-axis hook)."""
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise KeyError(
+                f"unknown scenario field(s) {sorted(unknown)}; valid axes: {sorted(valid)}"
+            )
+        coerced = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in overrides.items()
+        }
+        return dataclasses.replace(self, **coerced)
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+_CATALOG: Dict[str, Scenario] = {}
+
+ScenarioFactory = Callable[[], Scenario]
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Register a ready-made scenario under its own name."""
+    if scenario.name in _CATALOG:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _CATALOG[scenario.name] = scenario
+    return scenario
+
+
+def register_scenario(factory: ScenarioFactory) -> ScenarioFactory:
+    """Decorator: call ``factory`` once and register its scenario.
+
+    The factory's docstring becomes the description when the scenario
+    does not set one itself.
+    """
+    scenario = factory()
+    if not scenario.description and factory.__doc__:
+        scenario = dataclasses.replace(
+            scenario, description=" ".join(factory.__doc__.split())
+        )
+    register(scenario)
+    return factory
+
+
+def scenario_catalog() -> Dict[str, Scenario]:
+    """Name → scenario for every registered scenario (insertion order)."""
+    return dict(_CATALOG)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios: the four the CLI always had...
+# ----------------------------------------------------------------------
+@register_scenario
+def honest() -> Scenario:
+    """All players honest under synchrony: the sigma_0 baseline."""
+    return Scenario(name="honest", n=9, rounds=3)
+
+
+@register_scenario
+def fork() -> Scenario:
+    """K ∪ T equivocates (pi_ds) to split the honest players (Thm 3)."""
+    return Scenario(
+        name="fork", n=9, rounds=4, rational=2, byzantine=1,
+        theta=int(PlayerType.FORK_SEEKING), attack="fork",
+    )
+
+
+@register_scenario
+def liveness() -> Scenario:
+    """theta=3 collusion abstains (pi_abs) to stall progress (Thm 1)."""
+    return Scenario(
+        name="liveness", n=9, rounds=3, rational=3, byzantine=1,
+        theta=int(PlayerType.LIVENESS_ATTACKING), attack="liveness",
+        timeout=10.0, max_time=300.0,
+    )
+
+
+@register_scenario
+def censorship() -> Scenario:
+    """theta=2 collusion suppresses tx-0 while leading (pi_pc, Thm 2)."""
+    return Scenario(
+        name="censorship", n=9, rounds=6, rational=3, byzantine=1,
+        theta=int(PlayerType.CENSORSHIP_SEEKING), attack="censorship",
+        censored_tx_ids=("tx-0",),
+    )
+
+
+# ----------------------------------------------------------------------
+# ...and scenarios the legacy CLI could not express.
+# ----------------------------------------------------------------------
+@register_scenario
+def mixed_collusion() -> Scenario:
+    """Collusion of mixed types theta=1,2,3 forking together; security
+    is judged against the worst member (Section 4.1.1)."""
+    return Scenario(
+        name="mixed-collusion", n=9, rounds=4, rational=3, byzantine=1,
+        thetas=(
+            int(PlayerType.FORK_SEEKING),
+            int(PlayerType.CENSORSHIP_SEEKING),
+            int(PlayerType.LIVENESS_ATTACKING),
+        ),
+        attack="fork",
+    )
+
+
+@register_scenario
+def partition_fork() -> Scenario:
+    """Fork attack while the adversary partitions the honest victims
+    into two halves for 40 time units (Claim 1 / Thm 3 construction)."""
+    return Scenario(
+        name="partition-fork", n=9, rounds=1, byzantine_ids=(0, 1, 2),
+        attack="fork", t0=2, timeout=50.0,
+        partition_windows=((0.0, 40.0),), max_time=45.0,
+    )
+
+
+@register_scenario
+def claim1_abstention() -> Scenario:
+    """Claim 1, upper violation: with tau above n - t0, t0 abstaining
+    byzantine players deny liveness."""
+    return Scenario(
+        name="claim1-abstention", n=9, rounds=2, byzantine_ids=(7, 8),
+        attack="liveness", t0=2, timeout=10.0, max_time=200.0,
+    )
+
+
+@register_scenario
+def lone_abstainer() -> Scenario:
+    """A single rational theta=1 player running pi_abs (Lemma 4's
+    deviation sweep)."""
+    return Scenario(
+        name="lone-abstainer", n=9, rounds=3, rational_ids=(5,),
+        theta=int(PlayerType.FORK_SEEKING), attack="liveness", max_time=500.0,
+    )
+
+
+@register_scenario
+def lone_equivocator() -> Scenario:
+    """A single rational theta=1 player running pi_ds; pRFT captures
+    and burns it (Lemma 4)."""
+    return Scenario(
+        name="lone-equivocator", n=9, rounds=3, rational_ids=(5,),
+        theta=int(PlayerType.FORK_SEEKING), attack="fork", max_time=500.0,
+    )
+
+
+@register_scenario
+def thm5_collusion() -> Scenario:
+    """Theorem 5's full fork collusion at the paper's bounds
+    (n=13, k=4, t=2 <= t0)."""
+    return Scenario(
+        name="thm5-collusion", n=13, rounds=4,
+        rational_ids=(0, 1, 2, 3), byzantine_ids=(4, 5),
+        attack="fork", max_time=800.0,
+    )
+
+
+@register_scenario
+def gst_sweep() -> Scenario:
+    """Honest execution under partial synchrony; sweep gst to chart
+    liveness recovery after the network stabilises."""
+    return Scenario(
+        name="gst-sweep", n=5, rounds=2, delay="partial", gst=30.0,
+        timeout=15.0, max_time=1_000.0,
+    )
+
+
+@register_scenario
+def async_honest() -> Scenario:
+    """Honest players under heavy-tailed asynchronous delays."""
+    return Scenario(
+        name="async-honest", n=5, rounds=2, delay="asynchronous",
+        timeout=30.0, max_time=3_000.0,
+    )
+
+
+@register_scenario
+def protocol_matrix() -> Scenario:
+    """Honest baseline meant for cross-protocol grids, e.g.
+    --grid protocol=prft,pbft,hotstuff,polygraph,trap n=4,8,16."""
+    return Scenario(name="protocol-matrix", n=5, rounds=2, tolerance="bft")

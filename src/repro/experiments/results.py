@@ -1,0 +1,246 @@
+"""Flat run records, serialisation and aggregation for sweeps.
+
+A :class:`RunRecord` is the flat, JSON-friendly projection of one
+finished :class:`~repro.protocols.runner.RunResult`: terminal system
+state, Definition-1 verdicts, realised utilities, traffic totals and
+wall-clock time.  Records are what cross process boundaries (the
+parallel sweep workers return them, never live ``RunResult`` objects,
+which hold unpicklable engine state) and what lands on disk.
+
+Everything in a record except ``wall_time`` is a pure function of
+(scenario, seed), so :meth:`RunRecord.canonical` — the record minus
+timing — is byte-for-byte reproducible across runs, worker counts and
+machines.  Serialisers exclude timing by default for exactly that
+reason; pass ``include_timing=True`` to keep it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.robustness import check_robustness
+from repro.protocols.runner import RunResult
+
+ParamItems = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One row of a sweep: everything observable about one run."""
+
+    scenario: str
+    protocol: str
+    params: ParamItems
+    seed: int
+    state: str
+    robust: bool
+    agreement: bool
+    strict_ordering: bool
+    validity: bool
+    eventual_liveness: bool
+    censorship_resistance: Optional[bool]
+    progressed: bool
+    final_blocks: int
+    penalised: Tuple[int, ...]
+    utilities: Tuple[Tuple[int, float], ...]
+    total_messages: int
+    total_bytes: int
+    events: int
+    wall_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        scenario: "Any",
+        seed: int,
+        result: RunResult,
+        params: Optional[Mapping[str, Any]] = None,
+        wall_time: float = 0.0,
+    ) -> "RunRecord":
+        """Flatten a finished run (see :class:`Scenario` for inputs)."""
+        censored = list(scenario.censored_tx_ids) or None
+        verdict = check_robustness(result, censored_tx_ids=censored)
+        utilities = tuple(
+            (player.player_id,
+             result.realised_utility(player.player_id, player.theta, censored_tx_ids=censored))
+            for player in result.players
+            if player.is_rational
+        )
+        return cls(
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            params=tuple(sorted((params or {}).items())),
+            seed=seed,
+            state=result.system_state(censored_tx_ids=censored).name,
+            robust=verdict.robust,
+            agreement=verdict.agreement,
+            strict_ordering=verdict.strict_ordering,
+            validity=verdict.validity,
+            eventual_liveness=verdict.eventual_liveness,
+            censorship_resistance=verdict.censorship_resistance,
+            progressed=verdict.progressed,
+            final_blocks=result.final_block_count(),
+            penalised=tuple(sorted(result.penalised_players())),
+            utilities=utilities,
+            total_messages=result.metrics.total_messages,
+            total_bytes=result.metrics.total_bytes,
+            events=result.ctx.engine.events_processed,
+            wall_time=wall_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        data = asdict(self)
+        data["params"] = self.param_dict()
+        data["penalised"] = list(self.penalised)
+        data["utilities"] = {str(pid): value for pid, value in self.utilities}
+        if not include_timing:
+            del data["wall_time"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        kwargs["params"] = tuple(sorted(dict(data.get("params", {})).items()))
+        kwargs["penalised"] = tuple(data.get("penalised", ()))
+        kwargs["utilities"] = tuple(
+            sorted((int(pid), value) for pid, value in dict(data.get("utilities", {})).items())
+        )
+        kwargs.setdefault("wall_time", 0.0)
+        return cls(**kwargs)
+
+    def canonical(self) -> Dict[str, Any]:
+        """The deterministic projection: everything but wall time."""
+        return self.to_dict(include_timing=False)
+
+
+# ----------------------------------------------------------------------
+# JSON / CSV serialisation
+# ----------------------------------------------------------------------
+def records_to_json(
+    records: Sequence[RunRecord],
+    meta: Optional[Mapping[str, Any]] = None,
+    include_timing: bool = False,
+) -> str:
+    """Serialise records (plus sweep metadata) deterministically.
+
+    With ``include_timing=False`` (the default) the output depends only
+    on (scenario, grid, seeds): identical for serial and parallel runs.
+    """
+    payload: Dict[str, Any] = dict(meta or {})
+    payload["records"] = [record.to_dict(include_timing=include_timing) for record in records]
+    payload["aggregates"] = aggregate(records)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_json(
+    path: str,
+    records: Sequence[RunRecord],
+    meta: Optional[Mapping[str, Any]] = None,
+    include_timing: bool = False,
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(records_to_json(records, meta=meta, include_timing=include_timing))
+        handle.write("\n")
+
+
+def read_json(path: str) -> List[RunRecord]:
+    """Load records back from :func:`write_json` output."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return [RunRecord.from_dict(entry) for entry in payload["records"]]
+
+
+_CSV_FIELDS = (
+    "scenario", "protocol", "seed", "state", "robust", "agreement",
+    "strict_ordering", "validity", "eventual_liveness",
+    "censorship_resistance", "progressed", "final_blocks", "penalised",
+    "total_messages", "total_bytes", "events",
+)
+
+
+def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = False) -> None:
+    """Write records as a flat CSV, one ``param:<axis>`` column per axis."""
+    axes = sorted({key for record in records for key, _ in record.params})
+    headers = list(_CSV_FIELDS) + [f"param:{axis}" for axis in axes]
+    if include_timing:
+        headers.append("wall_time")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for record in records:
+            params = record.param_dict()
+            row: List[Any] = [getattr(record, name) for name in _CSV_FIELDS]
+            row[_CSV_FIELDS.index("penalised")] = " ".join(map(str, record.penalised))
+            row.extend(params.get(axis, "") for axis in axes)
+            if include_timing:
+                row.append(record.wall_time)
+            writer.writerow(row)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def group_by_params(records: Iterable[RunRecord]) -> Dict[ParamItems, List[RunRecord]]:
+    """Records grouped by grid point, in first-seen order."""
+    groups: Dict[ParamItems, List[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.params, []).append(record)
+    return groups
+
+def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
+    """Per-grid-point summaries over seeds (timing-free, deterministic).
+
+    Each entry reports the run count, the fraction of robust runs, the
+    distribution of terminal states, and means of the scalar metrics.
+    """
+    summaries: List[Dict[str, Any]] = []
+    for params, group in group_by_params(records).items():
+        states: Dict[str, int] = {}
+        for record in group:
+            states[record.state] = states.get(record.state, 0) + 1
+        all_utilities = [value for record in group for _, value in record.utilities]
+        summaries.append({
+            "params": dict(params),
+            "runs": len(group),
+            "robust_fraction": mean([1.0 if r.robust else 0.0 for r in group]),
+            "states": dict(sorted(states.items())),
+            "mean_final_blocks": mean([float(r.final_blocks) for r in group]),
+            "mean_messages": mean([float(r.total_messages) for r in group]),
+            "mean_bytes": mean([float(r.total_bytes) for r in group]),
+            "mean_rational_utility": mean(all_utilities) if all_utilities else None,
+        })
+    return summaries

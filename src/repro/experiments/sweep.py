@@ -1,0 +1,166 @@
+"""Cartesian parameter sweeps with serial or multi-process execution.
+
+:func:`expand_grid` turns (base scenario, axis grid, seeds) into an
+ordered list of independent :class:`SweepJob`\\ s; :func:`run_sweep`
+executes them either serially or on a ``multiprocessing.Pool`` of
+worker *processes* (runs are CPU-bound pure Python, so threads would
+serialise on the GIL).
+
+Determinism contract: a job is a pure function of (scenario, seed) —
+each worker builds a fresh engine, network and key registry, and all
+randomness flows from the job's seed.  ``Pool.map`` returns results in
+submission order, so the record list, and therefore the aggregated
+JSON, is byte-identical whatever ``jobs`` is; only ``wall_time``
+(excluded from canonical output) differs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.registry import Scenario
+from repro.experiments.results import RunRecord, aggregate
+
+Grid = Mapping[str, Sequence[Any]]
+SeedSpec = Union[int, Sequence[int]]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent unit of work: a scenario variant and a seed."""
+
+    index: int
+    scenario: Scenario
+    seed: int
+    params: Tuple[Tuple[str, Any], ...]
+
+
+def resolve_seeds(seeds: SeedSpec) -> List[int]:
+    """``10`` means seeds 0..9; a sequence is taken verbatim."""
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("need at least one seed")
+        return list(range(seeds))
+    resolved = list(seeds)
+    if not resolved:
+        raise ValueError("need at least one seed")
+    return resolved
+
+
+def expand_grid(
+    scenario: Scenario,
+    grid: Optional[Grid] = None,
+    seeds: SeedSpec = 1,
+) -> List[SweepJob]:
+    """Expand axes × seeds into ordered, independent jobs.
+
+    Axis order follows the grid mapping's insertion order; the product
+    iterates the last axis fastest, then seeds fastest of all, so job
+    order — and hence result order — is deterministic.
+    """
+    grid = dict(grid or {})
+    for axis, values in grid.items():
+        if not list(values):
+            raise ValueError(f"grid axis {axis!r} has no values")
+    seed_list = resolve_seeds(seeds)
+    axes = list(grid)
+    jobs: List[SweepJob] = []
+    for combo in itertools.product(*(grid[axis] for axis in axes)):
+        point = dict(zip(axes, combo))
+        variant = scenario.with_params(**point) if point else scenario
+        for seed in seed_list:
+            jobs.append(
+                SweepJob(
+                    index=len(jobs),
+                    scenario=variant,
+                    seed=seed,
+                    params=tuple(sorted(point.items())),
+                )
+            )
+    return jobs
+
+
+def run_job(job: SweepJob) -> RunRecord:
+    """Execute one job and flatten it to a record (worker entry point)."""
+    start = time.perf_counter()
+    result = job.scenario.run(seed=job.seed)
+    elapsed = time.perf_counter() - start
+    return RunRecord.from_result(
+        job.scenario,
+        seed=job.seed,
+        result=result,
+        params=dict(job.params),
+        wall_time=elapsed,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork inherits sys.path (and thus src-layout imports) for free;
+    # fall back to the platform default where fork is unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus enough metadata to replay it."""
+
+    scenario: str
+    grid: Dict[str, List[Any]]
+    seeds: List[int]
+    jobs: int
+    records: List[RunRecord]
+    wall_time: float
+
+    def aggregates(self) -> List[Dict[str, Any]]:
+        return aggregate(self.records)
+
+    def canonical_records(self) -> List[Dict[str, Any]]:
+        return [record.canonical() for record in self.records]
+
+    def meta(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "grid": self.grid,
+            "seeds": self.seeds,
+        }
+
+
+def run_sweep(
+    scenario: Scenario,
+    grid: Optional[Grid] = None,
+    seeds: SeedSpec = 1,
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> SweepResult:
+    """Run the full grid × seeds sweep and collect ordered records.
+
+    ``jobs=1`` runs serially in-process (no pool, easiest to debug);
+    ``jobs>1`` fans out over that many worker processes.  Either way
+    the returned records are in job order and canonically identical.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    job_list = expand_grid(scenario, grid=grid, seeds=seeds)
+    started = time.perf_counter()
+    if jobs == 1 or len(job_list) <= 1:
+        records = [run_job(job) for job in job_list]
+    else:
+        workers = min(jobs, len(job_list))
+        with _pool_context().Pool(processes=workers) as pool:
+            records = pool.map(run_job, job_list, chunksize)
+    elapsed = time.perf_counter() - started
+    return SweepResult(
+        scenario=scenario.name,
+        grid={axis: list(values) for axis, values in dict(grid or {}).items()},
+        seeds=resolve_seeds(seeds),
+        jobs=jobs,
+        records=records,
+        wall_time=elapsed,
+    )
