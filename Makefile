@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke bench bench-scaling example clean
+.PHONY: check test smoke bench bench-smoke bench-scaling example clean
 
 check: test smoke
 	@echo "check: OK"
@@ -20,6 +20,15 @@ smoke:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# One untimed pass over every bench_*.py (each harness is already
+# paper-sized-small; the whole suite is seconds).  REPRO_BENCH_SMOKE
+# shrinks the size knobs and relaxes the wall-clock assertions of the
+# benchmarks that expose them.  Run by the informational CI job,
+# which uploads BENCH_*.json.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_NO_SPEEDUP_ASSERT=1 \
+		$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
 
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/bench_sweep_scaling.py --benchmark-only -s

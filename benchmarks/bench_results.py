@@ -1,0 +1,75 @@
+"""Bench-trajectory writer: appends measurements to ``BENCH_<name>.json``.
+
+Each ``BENCH_*.json`` at the repository root is a list of entries, one
+appended per benchmark invocation, so re-running a benchmark over time
+(locally or in the CI bench-smoke job, which uploads the files as
+artifacts) records the performance trajectory instead of overwriting
+it.  Entries carry enough provenance — git commit, python version,
+smoke flag — to interpret a measurement months later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MAX_ENTRIES = 500
+"""Trajectories are capped (oldest dropped) so the files stay reviewable."""
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def bench_path(name: str) -> Path:
+    """The trajectory file for benchmark ``name``: ``BENCH_<name>.json``."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def load_trajectory(name: str) -> List[Dict[str, Any]]:
+    """All recorded entries for ``name`` (empty if none yet)."""
+    path = bench_path(name)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    return data if isinstance(data, list) else []
+
+
+def record_bench(name: str, payload: Dict[str, Any]) -> Path:
+    """Append one measurement to ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is the benchmark's own numbers; provenance fields
+    (timestamp, commit, python, smoke) are stamped automatically.
+    """
+    entry: Dict[str, Any] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
+    }
+    entry.update(payload)
+    trajectory = load_trajectory(name)
+    trajectory.append(entry)
+    path = bench_path(name)
+    path.write_text(json.dumps(trajectory[-MAX_ENTRIES:], indent=2, sort_keys=True) + "\n")
+    return path

@@ -3,8 +3,16 @@
 Each ``bench_*.py`` file regenerates one table or figure of the paper
 (see DESIGN.md's per-experiment index) and prints a paper-shaped table;
 run with ``pytest benchmarks/ --benchmark-only -s`` to see the output.
+
+``make bench-smoke`` (and the informational CI job) runs every
+harness once with timing disabled and exports ``REPRO_BENCH_SMOKE=1``;
+benchmarks that expose a size knob (the crypto fast path, the sweep
+scaling study) shrink to tiny-n configurations and relax their
+wall-clock assertions, so the smoke pass only checks that every
+harness still runs end to end.
 """
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.agents.collusion import Collusion, assign_strategies
@@ -81,3 +89,8 @@ def honest_run(factory, config: ProtocolConfig, delay: Optional[DelayModel] = No
 def once(benchmark, func):
     """Run ``func`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def smoke_mode() -> bool:
+    """True when running under ``make bench-smoke`` / the smoke CI job."""
+    return os.environ.get("REPRO_BENCH_SMOKE") == "1"

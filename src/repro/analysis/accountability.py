@@ -61,8 +61,20 @@ def _deviator_ground_truth(result: RunResult) -> Set[int]:
 
 
 def check_accountability(result: RunResult) -> AccountabilityReport:
-    """Cross-check burns, proofs and ground truth for one run."""
+    """Cross-check burns, proofs and ground truth for one run.
+
+    Refuses runs signed with a forgeable backend: Definition 6's V(π)
+    is only convincing because nobody but the accused could have
+    produced the tags, so a ``fast-sim`` run has no binding proofs to
+    check (its "guilty" sets would be meaningless).
+    """
     registry = result.ctx.registry
+    if not registry.backend.unforgeable:
+        raise ValueError(
+            f"accountability analysis needs an unforgeable crypto backend; "
+            f"this run used {registry.backend.name!r} whose proofs are not binding "
+            f"(re-run the scenario with crypto_backend='hmac-sha256')"
+        )
     provably_guilty: Set[int] = set()
     for pid in result.honest_ids:
         replica = result.replicas[pid]

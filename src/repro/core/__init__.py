@@ -44,6 +44,7 @@ from repro.core.messages import (
     ViewChangeMessage,
     VoteMessage,
     make_statement,
+    verify_quorum,
     verify_statement,
 )
 from repro.core.pof import FraudDetector, FraudProof, construct_pof, guilty_players
@@ -67,5 +68,6 @@ __all__ = [
     "guilty_players",
     "make_statement",
     "prft_factory",
+    "verify_quorum",
     "verify_statement",
 ]

@@ -19,9 +19,11 @@ before the next GST", Theorem 5 proof).
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Optional, Tuple
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
 
+from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 from repro.crypto.registry import KeyRegistry
 from repro.crypto.signatures import Signature, sign
@@ -64,6 +66,28 @@ class SignedStatement:
     def value(self) -> Tuple[Any, ...]:
         return statement_value(self.phase, self.round_number, self.digest)
 
+    def value_bytes(self) -> bytes:
+        """Canonical bytes of :meth:`value`, serialised once per statement.
+
+        The statement is frozen, so the signed tuple can never change;
+        memoizing here is what makes one serialisation per statement
+        per process possible (the tuple itself is rebuilt by every
+        ``value()`` call and cannot carry a cache).
+        """
+        cached = self.__dict__.get("_value_bytes")
+        if cached is None:
+            cached = canonical_bytes(self.value())
+            object.__setattr__(self, "_value_bytes", cached)
+        return cached
+
+    def value_digest(self) -> bytes:
+        """SHA-256 of :meth:`value_bytes`; the verification-cache key."""
+        cached = self.__dict__.get("_value_digest")
+        if cached is None:
+            cached = hashlib.sha256(self.value_bytes()).digest()
+            object.__setattr__(self, "_value_digest", cached)
+        return cached
+
     def canonical(self) -> Tuple[Any, ...]:
         return ("stmt", self.phase, self.round_number, self.digest, self.signature.canonical())
 
@@ -91,8 +115,70 @@ def make_statement(keypair: KeyPair, phase: str, round_number: int, digest: str)
 
 
 def verify_statement(registry: KeyRegistry, statement: SignedStatement) -> bool:
-    """Check the statement's signature against the trusted setup."""
+    """Check the statement's signature against the trusted setup.
+
+    Routes the statement's memoized bytes and digest into the
+    registry, so repeat verifications of the same signature — every
+    replica checks every quorum-certificate member — are cache hits
+    that never rebuild or re-serialise the signed tuple.  When the
+    registry's cache is disabled, the statement is handed over as a
+    value so the reference path genuinely re-serialises it.
+    """
+    if registry.cache_enabled:
+        return registry.verify(
+            statement.signature,
+            message=statement.value_bytes(),
+            digest=statement.value_digest(),
+        )
     return registry.verify(statement.signature, statement.value())
+
+
+def verify_quorum(
+    registry: KeyRegistry,
+    statements: Iterable[SignedStatement],
+    *,
+    phase: Optional[str] = None,
+    round_number: Optional[int] = None,
+    digest: Optional[str] = None,
+    minimum: int = 1,
+) -> bool:
+    """Batch-verify a quorum certificate of signed statements.
+
+    Structural constraints (phase/round/digest, when given) are checked
+    for every statement first — they are cheap and a violation saves
+    all cryptographic work — then signatures are verified through the
+    registry's cache, then the distinct-signer count is compared to
+    ``minimum``.  All statements must pass for the certificate to
+    count, exactly like the per-statement loops this replaces.
+    """
+    pool = list(statements)
+    signers = set()
+    for statement in pool:
+        if phase is not None and statement.phase != phase:
+            return False
+        if round_number is not None and statement.round_number != round_number:
+            return False
+        if digest is not None and statement.digest != digest:
+            return False
+        signers.add(statement.signer)
+    if len(signers) < minimum:
+        return False
+    if (
+        pool
+        and registry.cache_enabled
+        and phase is not None
+        and round_number is not None
+        and digest is not None
+    ):
+        # Fully-pinned certificates sign one shared value, so the
+        # whole batch rides a single serialisation + digest.
+        message = pool[0].value_bytes()
+        value_digest = pool[0].value_digest()
+        return all(
+            registry.verify(statement.signature, message=message, digest=value_digest)
+            for statement in pool
+        )
+    return all(verify_statement(registry, statement) for statement in pool)
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.messages import KAPPA, SignedStatement, verify_statement
+from repro.core.messages import KAPPA, SignedStatement, verify_quorum, verify_statement
 from repro.crypto.registry import KeyRegistry
 
 
@@ -65,10 +65,11 @@ class FraudProof:
 
         Structural conflict is enforced at construction; verification
         is what makes the accusation binding (Definition 6's V(·)).
+        Goes through the batch path so repeat checks of a circulating
+        proof (every honest replica re-verifies every Expose) hit the
+        registry's verification cache.
         """
-        return verify_statement(registry, self.first) and verify_statement(
-            registry, self.second
-        )
+        return verify_quorum(registry, (self.first, self.second))
 
 
 def construct_pof(

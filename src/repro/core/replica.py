@@ -47,6 +47,7 @@ from repro.core.messages import (
     ViewChangeMessage,
     VoteMessage,
     make_statement,
+    verify_quorum,
     verify_statement,
 )
 from repro.core.pof import FraudDetector, FraudProof
@@ -478,16 +479,14 @@ class PRFTReplica(BaseReplica):
     ) -> bool:
         """A quorum certificate must hold ≥ τ valid, distinct-signer
         signatures on the right (phase, round, digest)."""
-        signers = set()
-        for statement in statements:
-            if statement.phase != phase:
-                return False
-            if statement.round_number != round_number or statement.digest != digest:
-                return False
-            if not verify_statement(self.ctx.registry, statement):
-                return False
-            signers.add(statement.signer)
-        return len(signers) >= self.config.quorum_size
+        return verify_quorum(
+            self.ctx.registry,
+            statements,
+            phase=phase,
+            round_number=round_number,
+            digest=digest,
+            minimum=self.config.quorum_size,
+        )
 
     def _reach_tentative(self, state: RoundState, digest: str) -> None:
         if state.tentative_digest is not None:

@@ -20,19 +20,36 @@ These primitives are deterministic and dependency-free, which keeps
 simulation runs reproducible while preserving exactly the properties
 the paper's analysis relies on: signatures attribute messages to
 players, cannot be forged, and hashes bind block contents.
+
+Performance: serialisation is memoized on frozen values, the registry
+caches verification verdicts in a bounded LRU keyed by
+``(signer, tag, digest)``, and :mod:`~repro.crypto.backends` offers a
+non-unforgeable ``fast-sim`` tag backend for sweeps that never
+exercise accountability.
 """
 
+from repro.crypto.backends import (
+    CryptoBackend,
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+)
 from repro.crypto.hashing import digest_hex, hash_value
 from repro.crypto.keys import KeyPair, generate_keypair
-from repro.crypto.registry import KeyRegistry
+from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE, KeyRegistry
 from repro.crypto.signatures import Signature, sign, verify
 
 __all__ = [
+    "CryptoBackend",
+    "DEFAULT_BACKEND",
+    "DEFAULT_VERIFY_CACHE_SIZE",
     "KeyPair",
     "KeyRegistry",
     "Signature",
+    "backend_names",
     "digest_hex",
     "generate_keypair",
+    "get_backend",
     "hash_value",
     "sign",
     "verify",

@@ -1,0 +1,82 @@
+"""Pluggable signature-tag backends.
+
+The simulation's signatures are tags derived from (secret, message);
+how the tag is derived is a deployment knob:
+
+- ``hmac-sha256`` (default): the original HMAC-style construction,
+  ``SHA-256(secret || '|' || message)``.  Unforgeable up to SHA-256
+  preimage resistance — required whenever the run exercises the
+  paper's accountability machinery (Proofs-of-Fraud are only binding
+  because nobody but the signer could have produced the tag).
+- ``fast-sim``: a CRC32 chained over (secret, message).  Cheap and
+  deterministic but trivially forgeable; intended for game-theory
+  sweeps that never rely on unforgeability (honest baselines, payoff
+  grids, throughput scans) and refused by accountability analysis.
+
+Both backends are deterministic pure functions of (secret, message),
+so for a fixed backend a scenario and seed always replay the identical
+execution; switching backends changes tags (which never enter
+:class:`~repro.experiments.results.RunRecord` output) but not the
+decided blocks, states or utilities of attack-free runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+
+class CryptoBackend(ABC):
+    """One way of deriving signature tags from (secret, message)."""
+
+    #: registry name, e.g. ``"hmac-sha256"``
+    name: str = ""
+    #: whether a party without the secret can fabricate a verifying tag
+    unforgeable: bool = False
+
+    @abstractmethod
+    def tag(self, secret: bytes, message: bytes) -> str:
+        """Derive the signature tag over ``message`` with ``secret``."""
+
+
+class HmacSha256Backend(CryptoBackend):
+    """The paper-faithful default: SHA-256 over secret-prefixed bytes."""
+
+    name = "hmac-sha256"
+    unforgeable = True
+
+    def tag(self, secret: bytes, message: bytes) -> str:
+        return hashlib.sha256(secret + b"|" + message).hexdigest()
+
+
+class FastSimBackend(CryptoBackend):
+    """CRC32 tags: fast, deterministic, and deliberately forgeable."""
+
+    name = "fast-sim"
+    unforgeable = False
+
+    def tag(self, secret: bytes, message: bytes) -> str:
+        return format(zlib.crc32(message, zlib.crc32(secret)), "08x")
+
+
+DEFAULT_BACKEND = "hmac-sha256"
+
+_BACKENDS: Dict[str, CryptoBackend] = {
+    backend.name: backend for backend in (HmacSha256Backend(), FastSimBackend())
+}
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """Look a backend up by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ValueError(f"unknown crypto backend {name!r}; choose from: {known}") from None
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(_BACKENDS)

@@ -6,6 +6,12 @@ serialise values into a canonical byte string and digest it with
 SHA-256.  Any value built from the JSON-ish universe (``None``, bools,
 ints, floats, strings, bytes, tuples/lists, dicts with sortable keys,
 and dataclass-like objects exposing ``canonical()``) can be hashed.
+
+Serialisation is the hot path of every sign/verify, so the encoder
+memoizes its output on ``canonical()``-bearing objects: those are all
+frozen dataclasses (blocks, statements, signatures, fraud proofs),
+whose canonical form can never change after construction, so each such
+value is serialised at most once per process.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import hashlib
 from typing import Any
 
 _SEPARATOR = b"\x1f"
+
+_CANONICAL_CACHE_ATTR = "_canonical_bytes_cache"
 
 
 def canonical_bytes(value: Any) -> bytes:
@@ -53,7 +61,18 @@ def canonical_bytes(value: Any) -> bytes:
         return b"D" + str(len(items)).encode() + _SEPARATOR + body
     canonical = getattr(value, "canonical", None)
     if callable(canonical):
-        return b"O" + canonical_bytes(canonical())
+        cached = getattr(value, _CANONICAL_CACHE_ATTR, None)
+        if cached is not None:
+            return cached
+        encoded = b"O" + canonical_bytes(canonical())
+        try:
+            # Frozen dataclasses refuse normal attribute assignment but
+            # the canonical form of an immutable value is itself
+            # immutable, so caching it on the instance is safe.
+            object.__setattr__(value, _CANONICAL_CACHE_ATTR, encoded)
+        except (AttributeError, TypeError):
+            pass
+        return encoded
     raise TypeError(f"cannot canonically serialise {type(value).__name__}")
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.crypto.backends import DEFAULT_BACKEND, get_backend
+
 
 def _derive_secret(player_id: int, seed: str) -> bytes:
     material = f"repro-secret|{seed}|{player_id}".encode()
@@ -30,18 +32,24 @@ class KeyPair:
         player_id: the integer identity of the owning player.
         secret: the signing secret; never shared with other players.
         public: the verification key registered during trusted setup.
+        backend: name of the tag backend this key signs with; the whole
+            deployment shares one backend (fixed by the trusted setup).
     """
 
     player_id: int
     secret: bytes = field(repr=False)
     public: str
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if _derive_public(self.secret) != self.public:
             raise ValueError("public key does not match secret")
+        get_backend(self.backend)  # fail fast on unknown backends
 
 
-def generate_keypair(player_id: int, seed: str = "default") -> KeyPair:
+def generate_keypair(
+    player_id: int, seed: str = "default", backend: str = DEFAULT_BACKEND
+) -> KeyPair:
     """Deterministically generate the key pair for ``player_id``.
 
     Determinism keeps simulation runs reproducible; the ``seed``
@@ -49,4 +57,9 @@ def generate_keypair(player_id: int, seed: str = "default") -> KeyPair:
     system cannot be replayed into another.
     """
     secret = _derive_secret(player_id, seed)
-    return KeyPair(player_id=player_id, secret=secret, public=_derive_public(secret))
+    return KeyPair(
+        player_id=player_id,
+        secret=secret,
+        public=_derive_public(secret),
+        backend=backend,
+    )

@@ -5,14 +5,31 @@ trusted broadcast.  The :class:`KeyRegistry` models the result: a map
 from player id to verification material that every replica consults
 when validating signed messages.  Invalid signatures are discarded at
 the ``Recv`` boundary, exactly as the paper's protocol figure assumes.
+
+The registry is also the deployment's verification fast path.  Every
+replica of a run shares one registry, and quorum certificates make
+each statement's signature checked by every replica — so the registry
+keeps a bounded LRU cache keyed by ``(signer, tag, digest)``: once any
+replica has checked a signature over a value, the other n − 1 checks
+of the same triple are dictionary lookups.  Keying on the *tag* as
+well as the digest is what keeps forgery detection exact: a forged tag
+over an already-verified digest is a different key, misses the cache,
+and is re-derived (and rejected) from the secret material.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.crypto.backends import CryptoBackend, DEFAULT_BACKEND, get_backend
+from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair, generate_keypair
-from repro.crypto.signatures import Signature, verify
+from repro.crypto.signatures import Signature
+
+DEFAULT_VERIFY_CACHE_SIZE = 1 << 16
+"""Default bound on cached verification verdicts per registry."""
 
 
 class KeyRegistry:
@@ -25,23 +42,44 @@ class KeyRegistry:
     they can only call :meth:`verify`).
     """
 
-    def __init__(self, seed: str = "default") -> None:
+    def __init__(
+        self,
+        seed: str = "default",
+        backend: str = DEFAULT_BACKEND,
+        verify_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
+    ) -> None:
         self._seed = seed
+        self._backend = get_backend(backend)
         self._keys: Dict[int, KeyPair] = {}
+        self._cache: "OrderedDict[Tuple[int, str, bytes], bool]" = OrderedDict()
+        self._cache_size = max(0, int(verify_cache_size))
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @classmethod
-    def trusted_setup(cls, player_ids: Iterable[int], seed: str = "default") -> "KeyRegistry":
+    def trusted_setup(
+        cls,
+        player_ids: Iterable[int],
+        seed: str = "default",
+        backend: str = DEFAULT_BACKEND,
+        verify_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
+    ) -> "KeyRegistry":
         """Run the trusted setup for ``player_ids`` and return the registry."""
-        registry = cls(seed=seed)
+        registry = cls(seed=seed, backend=backend, verify_cache_size=verify_cache_size)
         for player_id in player_ids:
             registry.register(player_id)
         return registry
+
+    @property
+    def backend(self) -> CryptoBackend:
+        """The tag backend every key of this deployment signs with."""
+        return self._backend
 
     def register(self, player_id: int) -> KeyPair:
         """Register ``player_id`` and return its key pair (given to the player)."""
         if player_id in self._keys:
             raise ValueError(f"player {player_id} already registered")
-        keypair = generate_keypair(player_id, seed=self._seed)
+        keypair = generate_keypair(player_id, seed=self._seed, backend=self._backend.name)
         self._keys[player_id] = keypair
         return keypair
 
@@ -56,17 +94,83 @@ class KeyRegistry:
     def __contains__(self, player_id: int) -> bool:
         return player_id in self._keys
 
-    def verify(self, signature: Signature, value: Any) -> bool:
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether verification verdicts are being cached."""
+        return self._cache_size > 0
+
+    def verify(
+        self,
+        signature: Signature,
+        value: Any = None,
+        message: Optional[bytes] = None,
+        digest: Optional[bytes] = None,
+    ) -> bool:
         """Check that ``signature`` is a valid signature on ``value``.
 
         Returns ``False`` for unknown signers or forged tags; protocol
         code treats such messages as if they were never received.
+
+        ``message``/``digest`` let callers that memoize a value's
+        canonical bytes (e.g. :class:`~repro.core.messages.SignedStatement`)
+        skip re-serialisation; ``value`` may then be omitted entirely.
+        With the cache disabled (``verify_cache_size=0``) every call
+        takes the reference path — full re-serialisation (when a value
+        is given) and tag re-derivation — which is what the fast-path
+        benchmark and the determinism cross-check compare against.
         """
         keypair = self._keys.get(signature.signer)
         if keypair is None:
             return False
-        return verify(keypair.secret, signature, value)
+        if self._cache_size == 0:
+            if value is not None or message is None:
+                message = canonical_bytes(value)
+            return signature.tag == self._backend.tag(keypair.secret, message)
+        if message is None:
+            message = canonical_bytes(value)
+        if digest is None:
+            digest = hashlib.sha256(message).digest()
+        key = (signature.signer, signature.tag, digest)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        valid = signature.tag == self._backend.tag(keypair.secret, message)
+        self._cache[key] = valid
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return valid
+
+    def verify_quorum(self, signatures: Iterable[Signature], value: Any) -> bool:
+        """Batch-verify many signatures over one shared ``value``.
+
+        Quorum certificates are exactly this shape — τ signers over the
+        same (phase, round, digest) — so the value is serialised and
+        digested once for the whole batch; each signature then costs a
+        cache lookup (or one tag derivation on first sight).  False if
+        any signature fails.
+        """
+        message = canonical_bytes(value)
+        digest = hashlib.sha256(message).digest()
+        return all(
+            self.verify(signature, value, message=message, digest=digest)
+            for signature in signatures
+        )
 
     def verify_all(self, signatures: Iterable[Signature], value: Any) -> bool:
         """Check every signature in ``signatures`` against ``value``."""
-        return all(self.verify(signature, value) for signature in signatures)
+        return self.verify_quorum(signatures, value)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and occupancy of the verification cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "maxsize": self._cache_size,
+        }

@@ -10,10 +10,10 @@ only the deviating player could have signed the conflicting messages.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
+from repro.crypto.backends import CryptoBackend, DEFAULT_BACKEND, get_backend
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 
@@ -43,17 +43,44 @@ class Signature:
 
 
 def sign(keypair: KeyPair, value: Any) -> Signature:
-    """Sign ``value`` with ``keypair`` and return the signature."""
-    material = keypair.secret + b"|" + canonical_bytes(value)
-    return Signature(signer=keypair.player_id, tag=hashlib.sha256(material).hexdigest())
+    """Sign ``value`` with ``keypair`` and return the signature.
+
+    The tag derivation is delegated to the keypair's backend; the
+    default ``hmac-sha256`` backend produces
+    ``SHA-256(secret || '|' || canonical(value))``.
+    """
+    backend = get_backend(getattr(keypair, "backend", DEFAULT_BACKEND))
+    tag = backend.tag(keypair.secret, canonical_bytes(value))
+    return Signature(signer=keypair.player_id, tag=tag)
 
 
-def verify(public_key_secret_check: bytes, signature: Signature, value: Any) -> bool:
+def verify(
+    key: "KeyPair | bytes",
+    signature: Signature,
+    value: Any,
+    backend: "Optional[CryptoBackend | str]" = None,
+) -> bool:
     """Low-level verification against the signer's secret material.
 
+    ``key`` is either the signer's :class:`KeyPair` — whose backend is
+    then used, keeping this the exact inverse of :func:`sign` on any
+    deployment — or the raw secret bytes, in which case ``backend``
+    names the tag scheme (default ``hmac-sha256``).
+
     Prefer :meth:`repro.crypto.registry.KeyRegistry.verify`, which
-    looks the signer up in the trusted setup.  This function exists so
-    the registry can share one implementation with the tests.
+    looks the signer up in the trusted setup, caches verified tags and
+    reuses each value's serialised bytes.  This function always
+    re-serialises and re-derives the tag — it is the reference path the
+    registry's cache is benchmarked and cross-checked against.
     """
-    material = public_key_secret_check + b"|" + canonical_bytes(value)
-    return signature.tag == hashlib.sha256(material).hexdigest()
+    if isinstance(key, KeyPair):
+        secret = key.secret
+        if backend is None:
+            backend = key.backend
+    else:
+        secret = key
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    return signature.tag == backend.tag(secret, canonical_bytes(value))

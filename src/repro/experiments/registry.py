@@ -36,6 +36,8 @@ from repro.agents.player import (
 )
 from repro.agents.strategies import HonestStrategy
 from repro.core.replica import prft_factory
+from repro.crypto.backends import DEFAULT_BACKEND, backend_names, get_backend
+from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE
 from repro.gametheory.payoff import PlayerType
 from repro.net.delays import (
     AsynchronousDelay,
@@ -89,6 +91,14 @@ class Scenario:
     ``partition_groups`` defaults to the collusion's victim split
     (group A vs group B), the construction the paper's fork arguments
     use.
+
+    Crypto: ``crypto_backend`` selects the signature backend —
+    ``hmac-sha256`` (default, unforgeable) or ``fast-sim`` (CRC tags
+    for game-theory sweeps that never exercise unforgeability; refused
+    by fork/accountability scenarios).  ``crypto_cache_size`` bounds
+    the deployment's verified-signature cache; 0 disables caching and
+    restores the re-verify-everything reference path.  Both are sweep
+    axes like any other field.
     """
 
     name: str
@@ -119,6 +129,8 @@ class Scenario:
     tx_count: Optional[int] = None
     max_time: float = 2_000.0
     max_events: int = 2_000_000
+    crypto_backend: str = DEFAULT_BACKEND
+    crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
@@ -127,6 +139,18 @@ class Scenario:
             )
         if self.attack is not None and self.attack not in ATTACKS:
             raise ValueError(f"unknown attack {self.attack!r}; choose from {ATTACKS}")
+        if self.crypto_backend not in backend_names():
+            raise ValueError(
+                f"unknown crypto backend {self.crypto_backend!r}; "
+                f"choose from {backend_names()}"
+            )
+        if self.attack == "fork" and not get_backend(self.crypto_backend).unforgeable:
+            raise ValueError(
+                f"scenario {self.name!r} exercises accountability (fork attacks are "
+                f"deterred by Proofs-of-Fraud), which needs an unforgeable backend; "
+                f"{self.crypto_backend!r} is forgeable and only valid for scenarios "
+                f"that never rely on signature unforgeability"
+            )
         if self.delay not in DELAY_MODELS:
             raise ValueError(f"unknown delay model {self.delay!r}; choose from {DELAY_MODELS}")
         if self.tolerance not in ("prft", "bft"):
@@ -260,6 +284,8 @@ class Scenario:
             max_time=self.effective_max_time(),
             max_events=self.max_events,
             seed=f"{self.name}/{seed}",
+            crypto_backend=self.crypto_backend,
+            crypto_cache_size=self.crypto_cache_size,
         )
 
     def with_params(self, **overrides: Any) -> "Scenario":

@@ -37,8 +37,16 @@ class Block:
 
     @property
     def digest(self) -> str:
-        """H(Block || r): the value players vote on."""
-        return hash_value(self)
+        """H(Block || r): the value players vote on.
+
+        Computed once per block — the block is frozen, and its digest
+        is read on every proposal check and chain-head comparison.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hash_value(self)
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def contains(self, tx_id: str) -> bool:
         """True if the block includes the transaction with ``tx_id``."""

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.agents.player import Player
-from repro.core.messages import SignedStatement, make_statement, verify_statement
+from repro.core.messages import (
+    SignedStatement,
+    make_statement,
+    verify_quorum,
+    verify_statement,
+)
 from repro.core.pof import FraudDetector, FraudProof
 from repro.ledger.block import Block
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
@@ -320,14 +325,14 @@ class PolygraphReplica(BaseReplica):
         if not self._valid(message.statement, sender, PG_COMMIT):
             return
         digest = message.digest
-        signers = set()
-        for prepare in message.prepares:
-            if prepare.phase != PG_PREPARE or prepare.round_number != round_number:
-                return
-            if prepare.digest != digest or not verify_statement(self.ctx.registry, prepare):
-                return
-            signers.add(prepare.signer)
-        if len(signers) < self.config.quorum_size:
+        if not verify_quorum(
+            self.ctx.registry,
+            message.prepares,
+            phase=PG_PREPARE,
+            round_number=round_number,
+            digest=digest,
+            minimum=self.config.quorum_size,
+        ):
             return
         self._absorb(message.statement)
         for prepare in message.prepares:

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.agents.player import Player, Role
-from repro.crypto.registry import KeyRegistry
+from repro.crypto.backends import DEFAULT_BACKEND
+from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE, KeyRegistry
 from repro.gametheory.payoff import PlayerType, payoff
 from repro.gametheory.states import SystemState, classify_state
 from repro.ledger.chain import Chain
@@ -38,6 +39,8 @@ def build_context(
     delay_model: Optional[DelayModel] = None,
     partitions: Optional[PartitionSchedule] = None,
     seed: str = "default",
+    crypto_backend: str = DEFAULT_BACKEND,
+    crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
 ) -> ProtocolContext:
     """Assemble engine, network, PKI and collateral for a deployment."""
     engine = SimulationEngine()
@@ -48,7 +51,12 @@ def build_context(
         metrics=MetricsCollector(),
         trace=TraceRecorder(),
     )
-    registry = KeyRegistry.trusted_setup(player_ids, seed=seed)
+    registry = KeyRegistry.trusted_setup(
+        player_ids,
+        seed=seed,
+        backend=crypto_backend,
+        verify_cache_size=crypto_cache_size,
+    )
     collateral = CollateralRegistry(deposit=config.deposit)
     collateral.enroll_all(player_ids)
     return ProtocolContext(
@@ -148,18 +156,30 @@ def run_consensus(
     max_time: float = 10_000.0,
     max_events: int = 2_000_000,
     seed: str = "default",
+    crypto_backend: str = DEFAULT_BACKEND,
+    crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
 ) -> RunResult:
     """Run one full consensus deployment and return the result.
 
     Players must have ids 0..n-1 matching ``config.n``.  Transactions
     default to ``2 * block_size * max_rounds`` generated ones so every
-    round has work.
+    round has work.  ``crypto_backend`` / ``crypto_cache_size``
+    configure the deployment's signature backend and the registry's
+    verified-signature cache (0 disables caching — the reference path).
     """
     ids = sorted(p.player_id for p in players)
     if ids != list(range(config.n)):
         raise ValueError("players must have ids 0..n-1 matching config.n")
 
-    ctx = build_context(config, ids, delay_model=delay_model, partitions=partitions, seed=seed)
+    ctx = build_context(
+        config,
+        ids,
+        delay_model=delay_model,
+        partitions=partitions,
+        seed=seed,
+        crypto_backend=crypto_backend,
+        crypto_cache_size=crypto_cache_size,
+    )
     replicas: Dict[int, BaseReplica] = {}
     for player in players:
         replicas[player.player_id] = factory(player, config, ctx)

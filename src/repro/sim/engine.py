@@ -19,7 +19,8 @@ class Event:
 
     Ordering is (time, seq) so that simultaneous events preserve their
     scheduling order.  ``cancelled`` events stay in the heap but are
-    skipped when popped (lazy deletion).
+    skipped when popped (lazy deletion); the owning engine keeps a live
+    counter so cancellation is O(1) and ``pending`` never scans.
     """
 
     time: float
@@ -27,20 +28,30 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _owner: Optional["SimulationEngine"] = field(default=None, compare=False, repr=False)
+    _in_queue: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark this event so it is skipped when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._on_cancelled(self)
 
 
 class SimulationEngine:
     """A deterministic discrete-event loop with a virtual clock."""
+
+    #: below this queue length, compaction is never worth the rebuild
+    _COMPACT_MIN_QUEUE = 64
 
     def __init__(self) -> None:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -54,8 +65,25 @@ class SimulationEngine:
 
     @property
     def pending(self) -> int:
-        """How many live (non-cancelled) events are queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """How many live (non-cancelled) events are queued (O(1))."""
+        return self._live
+
+    def _on_cancelled(self, event: Event) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        Keeps the live counter exact and compacts the heap once
+        cancelled entries dominate, so long timeout-heavy runs don't
+        drag a heap full of dead timers.
+        """
+        if not event._in_queue:
+            return
+        self._live -= 1
+        if (
+            len(self._queue) > self._COMPACT_MIN_QUEUE
+            and self._live * 2 < len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now.
@@ -71,8 +99,11 @@ class SimulationEngine:
             seq=next(self._sequence),
             callback=callback,
             label=label,
+            _owner=self,
+            _in_queue=True,
         )
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -83,8 +114,10 @@ class SimulationEngine:
         """Fire the next live event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._in_queue = False
             if event.cancelled:
                 continue
+            self._live -= 1
             self._now = event.time
             self._events_processed += 1
             event.callback()
@@ -108,7 +141,7 @@ class SimulationEngine:
                 return
             head = self._queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(self._queue)._in_queue = False
                 continue
             if until is not None and head.time >= until:
                 self._now = max(self._now, until)

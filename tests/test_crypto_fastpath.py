@@ -1,0 +1,283 @@
+"""The crypto fast path: digest memoization, the bounded verification
+cache, batch quorum verification and the backend knob.
+
+The security-critical property under test: caching verified signatures
+must never weaken the Recv-boundary checks — a forged or re-attributed
+tag has a different ``(signer, tag, digest)`` key, so it can never ride
+an honest signature's cache entry.
+"""
+
+import pytest
+
+from repro.analysis.accountability import check_accountability
+from repro.core.messages import (
+    SignedStatement,
+    make_statement,
+    statement_value,
+    verify_quorum,
+    verify_statement,
+)
+from repro.crypto.backends import backend_names, get_backend
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.registry import KeyRegistry
+from repro.crypto.signatures import Signature, sign
+from repro.experiments.registry import Scenario, get_scenario
+
+DIGEST = "ab" * 32
+
+
+# ----------------------------------------------------------------------
+# Serialisation memoization
+# ----------------------------------------------------------------------
+class TestMemoization:
+    def test_canonical_bytes_memoized_on_frozen_objects(self):
+        stmt = make_statement(KeyRegistry.trusted_setup([0]).keypair_of(0), "vote", 1, DIGEST)
+        first = canonical_bytes(stmt)
+        assert canonical_bytes(stmt) is first  # same object: served from the memo
+
+    def test_statement_value_bytes_match_fresh_serialisation(self):
+        registry = KeyRegistry.trusted_setup([0])
+        stmt = make_statement(registry.keypair_of(0), "vote", 3, DIGEST)
+        assert stmt.value_bytes() == canonical_bytes(statement_value("vote", 3, DIGEST))
+        assert stmt.value_bytes() is stmt.value_bytes()
+
+    def test_memo_does_not_change_equality_or_hash(self):
+        registry = KeyRegistry.trusted_setup([0])
+        a = make_statement(registry.keypair_of(0), "vote", 1, DIGEST)
+        b = make_statement(registry.keypair_of(0), "vote", 1, DIGEST)
+        a.value_bytes()  # memoize one side only
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+# ----------------------------------------------------------------------
+# The bounded verification cache
+# ----------------------------------------------------------------------
+class TestVerificationCache:
+    def setup_method(self):
+        self.registry = KeyRegistry.trusted_setup(range(4), verify_cache_size=64)
+
+    def _statement(self, player=0, phase="vote", round_number=1, digest=DIGEST):
+        return make_statement(
+            self.registry.keypair_of(player), phase, round_number, digest
+        )
+
+    def test_repeat_verification_hits_cache(self):
+        stmt = self._statement()
+        assert verify_statement(self.registry, stmt)
+        before = self.registry.cache_info()
+        assert verify_statement(self.registry, stmt)
+        after = self.registry.cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_forged_tag_rejected_after_cache_hit_on_same_digest(self):
+        """The attack the cache key must defeat: warm the cache with a
+        valid signature over a value, then present a forged tag over
+        the *same* value."""
+        stmt = self._statement()
+        assert verify_statement(self.registry, stmt)
+        assert verify_statement(self.registry, stmt)  # entry is hot
+        forged = SignedStatement(
+            phase=stmt.phase,
+            round_number=stmt.round_number,
+            digest=stmt.digest,
+            signature=Signature(signer=0, tag="00" * 32),
+        )
+        assert not verify_statement(self.registry, forged)
+        # ...and the honest entry is still good afterwards.
+        assert verify_statement(self.registry, stmt)
+
+    def test_reattributed_tag_rejected_after_cache_hit(self):
+        """Player 1 claiming player 0's cached tag misses the cache
+        (different signer in the key) and fails tag re-derivation."""
+        stmt = self._statement(player=0)
+        assert verify_statement(self.registry, stmt)
+        stolen = SignedStatement(
+            phase=stmt.phase,
+            round_number=stmt.round_number,
+            digest=stmt.digest,
+            signature=Signature(signer=1, tag=stmt.signature.tag),
+        )
+        assert not verify_statement(self.registry, stolen)
+
+    def test_cache_bounded_under_churn(self):
+        registry = KeyRegistry.trusted_setup([0], verify_cache_size=8)
+        keypair = registry.keypair_of(0)
+        for round_number in range(100):
+            stmt = make_statement(keypair, "vote", round_number, DIGEST)
+            assert verify_statement(registry, stmt)
+        info = registry.cache_info()
+        assert info["size"] <= 8
+        assert info["misses"] == 100
+
+    def test_eviction_is_lru(self):
+        registry = KeyRegistry.trusted_setup([0], verify_cache_size=2)
+        keypair = registry.keypair_of(0)
+        a, b, c = (make_statement(keypair, "vote", r, DIGEST) for r in range(3))
+        verify_statement(registry, a)
+        verify_statement(registry, b)
+        verify_statement(registry, a)  # refresh a; b is now oldest
+        verify_statement(registry, c)  # evicts b
+        before = registry.cache_info()["misses"]
+        verify_statement(registry, b)
+        assert registry.cache_info()["misses"] == before + 1
+
+    def test_negative_verdicts_also_cached(self):
+        stmt = self._statement()
+        forged = SignedStatement(
+            phase=stmt.phase,
+            round_number=stmt.round_number,
+            digest=stmt.digest,
+            signature=Signature(signer=0, tag="11" * 32),
+        )
+        assert not verify_statement(self.registry, forged)
+        before = self.registry.cache_info()
+        assert not verify_statement(self.registry, forged)
+        assert self.registry.cache_info()["hits"] == before["hits"] + 1
+
+    def test_cache_disabled_still_correct(self):
+        registry = KeyRegistry.trusted_setup(range(2), verify_cache_size=0)
+        assert not registry.cache_enabled
+        stmt = make_statement(registry.keypair_of(0), "vote", 1, DIGEST)
+        assert verify_statement(registry, stmt)
+        assert registry.cache_info() == {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+
+
+# ----------------------------------------------------------------------
+# Batch quorum verification
+# ----------------------------------------------------------------------
+class TestVerifyQuorum:
+    def setup_method(self):
+        self.registry = KeyRegistry.trusted_setup(range(4))
+
+    def _quorum(self, signers=range(3), phase="vote", round_number=1, digest=DIGEST):
+        return [
+            make_statement(self.registry.keypair_of(i), phase, round_number, digest)
+            for i in signers
+        ]
+
+    def test_valid_quorum_accepted(self):
+        statements = self._quorum()
+        assert verify_quorum(
+            self.registry, statements, phase="vote", round_number=1,
+            digest=DIGEST, minimum=3,
+        )
+
+    def test_short_quorum_rejected(self):
+        assert not verify_quorum(
+            self.registry, self._quorum(signers=range(2)), minimum=3
+        )
+
+    def test_duplicate_signers_do_not_count_twice(self):
+        statements = self._quorum(signers=[0, 0, 1])
+        # Two distinct statements per duplicate signer (different rounds
+        # collapse is not allowed here, so reuse the same statement).
+        assert not verify_quorum(self.registry, statements, minimum=3)
+
+    def test_structural_mismatch_rejected_without_crypto(self):
+        statements = self._quorum(round_number=2)
+        before = self.registry.cache_info()["misses"]
+        assert not verify_quorum(self.registry, statements, round_number=1)
+        assert self.registry.cache_info()["misses"] == before  # no tag derived
+
+    def test_one_forged_member_poisons_the_certificate(self):
+        statements = self._quorum()
+        statements[1] = SignedStatement(
+            phase="vote",
+            round_number=1,
+            digest=DIGEST,
+            signature=Signature(signer=1, tag="22" * 32),
+        )
+        assert not verify_quorum(
+            self.registry, statements, phase="vote", round_number=1,
+            digest=DIGEST, minimum=3,
+        )
+
+    def test_registry_verify_quorum_shares_one_serialisation(self):
+        value = ("shared", 7)
+        signatures = [sign(self.registry.keypair_of(i), value) for i in range(4)]
+        assert self.registry.verify_quorum(signatures, value)
+        assert not self.registry.verify_quorum(signatures, ("shared", 8))
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_registry_lists_both(self):
+        assert backend_names() == ["fast-sim", "hmac-sha256"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            get_backend("rot13")
+        with pytest.raises(ValueError):
+            KeyRegistry(backend="rot13")
+
+    def test_hmac_tag_formula_unchanged(self):
+        """Regression pin: the default backend's tags are exactly the
+        seed's ``SHA-256(secret || '|' || canonical(value))``."""
+        import hashlib
+
+        registry = KeyRegistry.trusted_setup([0])
+        keypair = registry.keypair_of(0)
+        value = ("prft", "vote", 1, DIGEST)
+        expected = hashlib.sha256(
+            keypair.secret + b"|" + canonical_bytes(value)
+        ).hexdigest()
+        assert sign(keypair, value).tag == expected
+
+    def test_fast_sim_roundtrip(self):
+        registry = KeyRegistry.trusted_setup(range(3), backend="fast-sim")
+        stmt = make_statement(registry.keypair_of(1), "vote", 1, DIGEST)
+        assert verify_statement(registry, stmt)
+        assert not verify_statement(
+            registry,
+            SignedStatement(
+                phase="vote", round_number=1, digest=DIGEST,
+                signature=Signature(signer=2, tag=stmt.signature.tag),
+            ),
+        )
+
+    def test_fast_sim_is_declared_forgeable(self):
+        assert not get_backend("fast-sim").unforgeable
+        assert get_backend("hmac-sha256").unforgeable
+
+
+# ----------------------------------------------------------------------
+# Scenario / analysis integration
+# ----------------------------------------------------------------------
+class TestScenarioBackendKnob:
+    def test_unknown_backend_refused_at_construction(self):
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            Scenario(name="x", crypto_backend="rot13")
+
+    def test_fork_scenarios_refuse_fast_sim(self):
+        with pytest.raises(ValueError, match="unforgeable"):
+            get_scenario("fork").with_params(crypto_backend="fast-sim")
+        with pytest.raises(ValueError, match="unforgeable"):
+            get_scenario("lone-equivocator").with_params(crypto_backend="fast-sim")
+
+    def test_accountability_analysis_refuses_fast_sim_runs(self):
+        scenario = get_scenario("honest").with_params(
+            n=4, rounds=1, crypto_backend="fast-sim"
+        )
+        result = scenario.run(seed=0)
+        with pytest.raises(ValueError, match="unforgeable"):
+            check_accountability(result)
+
+    def test_fast_sim_honest_run_matches_default_outcome(self):
+        base = get_scenario("honest").with_params(n=5, rounds=2)
+        fast = base.with_params(crypto_backend="fast-sim")
+        a, b = base.run(seed=0), fast.run(seed=0)
+        assert a.system_state() == b.system_state()
+        assert a.final_block_count() == b.final_block_count()
+        assert a.metrics.total_messages == b.metrics.total_messages
+
+    def test_cache_size_is_a_sweep_axis(self):
+        base = get_scenario("honest").with_params(n=4, rounds=1)
+        cached = base.run(seed=0)
+        uncached = base.with_params(crypto_cache_size=0).run(seed=0)
+        assert cached.ctx.registry.cache_info()["hits"] > 0
+        assert uncached.ctx.registry.cache_info()["hits"] == 0
+        assert cached.final_block_count() == uncached.final_block_count()

@@ -4,6 +4,10 @@ paper's Equation 1 is about."""
 
 import pytest
 
+# The whole module is the slow tier: CI's required job deselects it
+# (`-m "not slow"`); `make check` and bare `pytest` still run it.
+pytestmark = pytest.mark.slow
+
 from repro.agents.strategies import AbstainStrategy, CensorshipStrategy, EquivocateStrategy
 from repro.analysis.robustness import check_robustness
 from repro.gametheory.payoff import PlayerType, worst_type

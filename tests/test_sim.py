@@ -95,6 +95,49 @@ class TestEngine:
         assert engine.pending == 1
         assert live is not dead
 
+    def test_pending_counter_survives_cancel_pop_mixtures(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        events[0].cancel()
+        events[0].cancel()  # double cancel is a no-op
+        engine.step()       # fires the event at t=2
+        events[1].cancel()  # already fired: must not corrupt the counter
+        assert engine.pending == 8
+        engine.run()
+        assert engine.pending == 0
+
+    def test_pending_zero_after_drain_with_cancellations(self):
+        engine = SimulationEngine()
+        keep = [engine.schedule(1.0, lambda: None) for _ in range(5)]
+        drop = [engine.schedule(2.0, lambda: None) for _ in range(5)]
+        for event in drop:
+            event.cancel()
+        engine.run()
+        assert engine.pending == 0
+        assert engine.events_processed == len(keep)
+
+    def test_heap_compacted_when_cancellations_dominate(self):
+        """Mass-cancelling timers shrinks the heap instead of leaving a
+        graveyard of dead entries for every later push/pop to sift."""
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[2:]:
+            event.cancel()
+        assert engine.pending == 2
+        assert len(engine._queue) < 64  # compaction kicked in
+        engine.run()
+        assert engine.events_processed == 2
+
+    def test_cancellation_inside_callback_keeps_order(self):
+        engine = SimulationEngine()
+        order = []
+        later = engine.schedule(2.0, lambda: order.append("later"))
+        engine.schedule(1.0, lambda: (order.append("first"), later.cancel()))
+        engine.schedule(3.0, lambda: order.append("last"))
+        engine.run()
+        assert order == ["first", "last"]
+        assert engine.pending == 0
+
     @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=20))
     def test_firing_times_nondecreasing(self, delays):
         engine = SimulationEngine()
