@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke bench bench-smoke bench-scaling example clean
+.PHONY: check test smoke bench bench-smoke bench-scaling bench-network example clean
 
 check: test smoke
 	@echo "check: OK"
@@ -32,6 +32,12 @@ bench-smoke:
 
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/bench_sweep_scaling.py --benchmark-only -s
+
+# The link-layer fault pipeline end to end (E16): empty-pipeline
+# byte-identity, lossy agreement, crash/recovery, duplicate storm.
+# Appends to BENCH_network.json.
+bench-network:
+	$(PYTHON) -m pytest benchmarks/bench_faulty_links.py --benchmark-only -s
 
 example:
 	$(PYTHON) examples/sweep_quickstart.py

@@ -1,0 +1,186 @@
+"""E16 — faulty links: the link-layer fault pipeline end to end.
+
+Exercises the adversarial-network scenario axes and records the
+measurements in ``BENCH_network.json``:
+
+- **identity gate** — every pre-pipeline catalog scenario must
+  produce a canonical :class:`RunRecord` byte-identical to the golden
+  record captured from the *pre-refactor* simulator
+  (``benchmarks/golden_records.json``): the pipeline refactor — and
+  any future change to the delay/partition stages — may not change a
+  single decided byte of the reliable baseline.  Smoke mode checks a
+  fast subset; the full run checks all 13;
+- **lossy agreement** — honest-majority pRFT/pBFT/HotStuff deployments
+  over a 10%-loss link must still reach agreement (retransmission via
+  the timeout paths), with no honest player ever penalised;
+- **lossy fork deterrence** — the fork collusion attacking over a
+  lossy link is still captured and burned (``lossy-prft-fork``);
+- **crash/recovery** — ``crash-leader`` must commit through a view
+  change around the crashed leader, and ``churn-liveness`` must keep
+  all honest chains in agreement through rolling outages;
+- **duplicate storm** — 50% duplication plus reorder jitter must be
+  absorbed by the idempotent handlers.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the seed counts; all
+assertions here are correctness gates, not wall-clock gates, so they
+hold in smoke mode too.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.experiments import get_scenario
+from repro.experiments.results import RunRecord
+
+from benchmarks.bench_results import record_bench
+from benchmarks.helpers import once, smoke_mode
+
+SEEDS = 1 if smoke_mode() else 3
+LOSSY_PROTOCOLS = ("prft", "pbft", "hotstuff")
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden_records.json"
+"""Canonical RunRecords of every pre-pipeline catalog scenario at
+seed 0, captured from the simulator *before* the link-layer refactor.
+Comparing against this file (rather than re-running both sides through
+the current code) is what makes the identity gate able to catch a
+regression in the delay/partition stage arithmetic itself."""
+
+SMOKE_GOLDEN_SUBSET = ("honest", "fork", "gst-sweep", "partition-fork")
+
+
+def _canonical_json(scenario, seed=0):
+    result = scenario.run(seed=seed)
+    record = RunRecord.from_result(scenario, seed=seed, result=result)
+    return json.dumps(record.canonical(), sort_keys=True), result
+
+
+def _experiment():
+    measurements = {}
+
+    # 1. Empty fault pipeline == the golden pre-refactor baseline.
+    started = time.perf_counter()
+    golden = json.loads(GOLDEN_PATH.read_text())
+    names = SMOKE_GOLDEN_SUBSET if smoke_mode() else sorted(golden)
+    mismatched = []
+    for name in names:
+        current_json, _ = _canonical_json(get_scenario(name))
+        if current_json != json.dumps(golden[name], sort_keys=True):
+            mismatched.append(name)
+    measurements["identity"] = {
+        "scenarios_checked": len(names),
+        "byte_identical": not mismatched,
+        "mismatched": mismatched,
+    }
+
+    # 2. Honest-majority agreement over a lossy link, per protocol.
+    lossy = {}
+    for protocol in LOSSY_PROTOCOLS:
+        scenario = get_scenario("lossy-honest").with_params(protocol=protocol)
+        agree, blocks, dropped = [], [], []
+        for seed in range(SEEDS):
+            result = scenario.run(seed=seed)
+            verdict = check_robustness(result)
+            agree.append(verdict.agreement and not result.penalised_players())
+            blocks.append(result.final_block_count())
+            dropped.append(result.metrics.dropped_by_reason().get("loss", 0))
+        lossy[protocol] = {
+            "seeds": SEEDS,
+            "all_agree_unpenalised": all(agree),
+            "blocks": blocks,
+            "loss_drops": dropped,
+        }
+    measurements["lossy"] = lossy
+
+    # 3. Fork deterrence survives loss.
+    fork_result = get_scenario("lossy-prft-fork").run(seed=0)
+    measurements["lossy_fork"] = {
+        "state": fork_result.system_state().name,
+        "penalised": sorted(fork_result.penalised_players()),
+    }
+
+    # 4. Crash/recovery scenarios.
+    crash_result = get_scenario("crash-leader").run(seed=0)
+    crash_verdict = check_robustness(crash_result)
+    kinds = [event.kind for event in crash_result.trace.events()]
+    churn_result = get_scenario("churn-liveness").run(seed=0)
+    churn_verdict = check_robustness(churn_result)
+    measurements["crash_leader"] = {
+        "view_change_committed": "view_change_committed" in kinds,
+        "blocks": crash_result.final_block_count(),
+        "robust": crash_verdict.robust,
+        "crashed_drops": crash_result.metrics.dropped_by_reason().get("crashed", 0),
+    }
+    measurements["churn"] = {
+        "blocks": churn_result.final_block_count(),
+        "robust": churn_verdict.robust,
+        "rejoins": [e.kind for e in churn_result.trace.events()].count("rejoin"),
+    }
+
+    # 5. Duplicate storm.
+    storm_result = get_scenario("duplicate-storm").run(seed=0)
+    storm_verdict = check_robustness(storm_result)
+    measurements["duplicate_storm"] = {
+        "blocks": storm_result.final_block_count(),
+        "robust": storm_verdict.robust,
+        "duplicates": storm_result.metrics.total_duplicates,
+    }
+
+    measurements["wall_seconds"] = round(time.perf_counter() - started, 3)
+    return measurements
+
+
+def test_faulty_links(benchmark):
+    measured = once(benchmark, _experiment)
+
+    rows = [
+        [
+            f"golden byte-identity ({measured['identity']['scenarios_checked']} scenarios)",
+            measured["identity"]["byte_identical"],
+        ],
+    ]
+    for protocol, info in measured["lossy"].items():
+        rows.append(
+            [
+                f"lossy-honest {protocol} ({info['seeds']} seeds)",
+                f"agree={info['all_agree_unpenalised']} blocks={info['blocks']}",
+            ]
+        )
+    rows += [
+        ["lossy fork state / burned", f"{measured['lossy_fork']['state']} / "
+                                      f"{measured['lossy_fork']['penalised']}"],
+        ["crash-leader view change / blocks",
+         f"{measured['crash_leader']['view_change_committed']} / "
+         f"{measured['crash_leader']['blocks']}"],
+        ["churn robust / blocks",
+         f"{measured['churn']['robust']} / {measured['churn']['blocks']}"],
+        ["duplicate storm robust / copies",
+         f"{measured['duplicate_storm']['robust']} / "
+         f"{measured['duplicate_storm']['duplicates']}"],
+        ["wall time (s)", measured["wall_seconds"]],
+    ]
+    print()
+    print(render_table(["quantity", "value"], rows, title="E16: faulty links"))
+
+    path = record_bench("network", measured)
+    print(f"trajectory appended to {path}")
+
+    # Correctness gates (hold in smoke mode too — nothing here is timed).
+    assert measured["identity"]["byte_identical"], (
+        "the empty fault pipeline must reproduce the pre-refactor golden "
+        f"records byte-for-byte; mismatched: {measured['identity']['mismatched']}"
+    )
+    for protocol, info in measured["lossy"].items():
+        assert info["all_agree_unpenalised"], (
+            f"honest-majority {protocol} lost agreement (or burned an honest "
+            f"player) under 10% link loss"
+        )
+    assert measured["lossy_fork"]["penalised"], "lossy fork escaped the burn"
+    assert measured["crash_leader"]["view_change_committed"], (
+        "crash-leader did not trigger a committed view change"
+    )
+    assert measured["crash_leader"]["blocks"] >= 1, "crash-leader never committed"
+    assert measured["churn"]["robust"], "churn broke robustness"
+    assert measured["duplicate_storm"]["robust"], "duplicate storm broke robustness"

@@ -71,6 +71,23 @@ def _add_run_arguments(parser: argparse.ArgumentParser, choices: Sequence[str] =
     parser.add_argument("--timeout", type=float, default=15.0, help="phase timeout Δ")
     parser.add_argument("--gst", type=float, default=None, help="run partially synchronous with this GST")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="link-layer drop probability per delivery (0 = reliable)",
+    )
+    parser.add_argument(
+        "--duplicate-rate", type=float, default=0.0,
+        help="link-layer duplication probability per delivery",
+    )
+    parser.add_argument(
+        "--reorder-jitter", type=float, default=0.0,
+        help="uniform per-delivery jitter bound (reorders traffic)",
+    )
+    parser.add_argument(
+        "--crash", action="append", default=[], metavar="PID@T0[:T1]",
+        help="crash replica PID at T0, recovering at T1 (omit T1 for a "
+             "permanent crash); repeatable",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,6 +146,25 @@ def build_cli_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Legacy single-scenario pipeline (kept as the `run` implementation)
 # ----------------------------------------------------------------------
+def parse_crash_specs(specs: Sequence[str]) -> tuple:
+    """Parse repeated ``PID@T0[:T1]`` flags into Scenario.crash_spec."""
+    entries = []
+    for spec in specs:
+        pid_part, separator, times = spec.partition("@")
+        if not separator:
+            raise SystemExit(f"bad --crash spec {spec!r}; expected PID@T0[:T1]")
+        try:
+            pid = int(pid_part)
+            if ":" in times:
+                start, end = times.split(":", 1)
+                entries.append((pid, float(start), float(end)))
+            else:
+                entries.append((pid, float(times)))
+        except ValueError:
+            raise SystemExit(f"bad --crash spec {spec!r}; expected PID@T0[:T1]")
+    return tuple(entries)
+
+
 def scenario_from_args(args: argparse.Namespace) -> Scenario:
     """Translate `repro run` flags into a declarative Scenario."""
     attack = None if args.scenario == "honest" else args.scenario
@@ -146,6 +182,10 @@ def scenario_from_args(args: argparse.Namespace) -> Scenario:
             delay="partial" if args.gst is not None else "fixed",
             gst=args.gst or 0.0,
             timeout=args.timeout,
+            loss_rate=getattr(args, "loss_rate", 0.0),
+            duplicate_rate=getattr(args, "duplicate_rate", 0.0),
+            reorder_jitter=getattr(args, "reorder_jitter", 0.0),
+            crash_spec=parse_crash_specs(getattr(args, "crash", [])),
             max_time=1_000.0,
         )
     except ValueError as error:
@@ -177,6 +217,13 @@ def scenario_report(result: RunResult, scenario: Scenario) -> str:
     ]
     if censored is not None:
         rows.append(["censorship resistant", verdict.censorship_resistance])
+    if result.metrics.total_dropped:
+        dropped = ", ".join(
+            f"{reason}:{count}" for reason, count in sorted(result.metrics.dropped_by_reason().items())
+        )
+        rows.append(["dropped", dropped])
+    if result.metrics.total_duplicates:
+        rows.append(["duplicated copies", result.metrics.total_duplicates])
     return render_table(["quantity", "value"], rows, title="repro scenario result")
 
 

@@ -271,9 +271,15 @@ class RevealMessage:
 
 @dataclass(frozen=True)
 class FinalMessage:
-    """⟨Final, h_l, s^pro_l⟩ signed by the finaliser."""
+    """⟨Final, h_l, s^pro_l⟩ signed by the finaliser.
+
+    ``block`` is normally None (finals are O(κ)); catch-up
+    retransmissions on faulty links attach the block body so a replica
+    that lost the round's traffic can adopt the decided block.
+    """
 
     statement: SignedStatement
+    block: Optional[Any] = None
 
     @property
     def round_number(self) -> int:
@@ -285,7 +291,8 @@ class FinalMessage:
 
     @property
     def size_bytes(self) -> int:
-        return self.statement.size_bytes
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.statement.size_bytes + block_size
 
 
 @dataclass(frozen=True)

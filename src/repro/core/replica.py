@@ -63,6 +63,7 @@ class RoundState:
     """Everything a replica tracks for one round."""
 
     number: int
+    sent_proposal: Optional[ProposeMessage] = None
     proposals: Dict[str, ProposeMessage] = field(default_factory=dict)
     blocks: Dict[str, Block] = field(default_factory=dict)
     voted_digests: Set[str] = field(default_factory=set)
@@ -76,9 +77,11 @@ class RoundState:
     finalized: bool = False
     tentative_digest: Optional[str] = None
     exposed: bool = False
+    timeouts: int = 0
     view_change_sent: bool = False
     view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
     commit_view_sent: bool = False
+    commit_view_message: Optional[CommitViewMessage] = None
     commit_views: Dict[int, CommitViewMessage] = field(default_factory=dict)
     view_committed: bool = False
     advanced: bool = False
@@ -89,12 +92,21 @@ class PRFTReplica(BaseReplica):
 
     def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
         super().__init__(player, config, ctx)
-        self.current_round = 0
+        # Persisted across crashes: the fraud detector and burn log are
+        # written through on receipt (Section 5.3.1 lets any PoF burn
+        # collateral later, so evidence must survive an outage).
         self.detector = FraudDetector(registry=ctx.registry)
         self.reported_guilty: Set[int] = set()
+        self._started = False
+        # The round counter is journalled on entry (cheap, one integer)
+        # so a recovering replica re-enters the round it crashed in.
+        self.current_round = 0
+        self._init_volatile_state()
+
+    def _init_volatile_state(self) -> None:
+        """In-memory round state: lost on a crash, rebuilt on recovery."""
         self._rounds: Dict[int, RoundState] = {}
         self._future: Dict[int, List[Tuple[int, Any]]] = {}
-        self._started = False
 
     # ------------------------------------------------------------------
     # Round bookkeeping
@@ -125,16 +137,19 @@ class PRFTReplica(BaseReplica):
         self.current_round = round_number
         state = self.round_state(round_number)
         self.trace("round_start", round=round_number, leader=self.leader_of_round(round_number))
-        self.set_timer(
-            f"round-{round_number}",
-            self.config.timeout,
-            lambda: self._on_round_timeout(round_number),
-        )
+        self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._propose(round_number)
         backlog = self._future.pop(round_number, [])
         for sender, payload in backlog:
             self.handle_payload(sender, payload)
+
+    def _arm_round_timer(self, round_number: int) -> None:
+        self.set_timer(
+            f"round-{round_number}",
+            self.config.timeout,
+            lambda: self._on_round_timeout(round_number),
+        )
 
     def _advance(self, from_round: int) -> None:
         state = self.round_state(from_round)
@@ -172,6 +187,7 @@ class PRFTReplica(BaseReplica):
 
     def _propose(self, round_number: int) -> None:
         primary = self._make_propose(round_number)
+        self.round_state(round_number).sent_proposal = primary
         self.trace("propose", round=round_number, digest=primary.digest[:12])
         self.broadcast(
             primary,
@@ -283,6 +299,54 @@ class PRFTReplica(BaseReplica):
             self._absorb_late_reveal(sender, payload)
         elif isinstance(payload, FinalMessage):
             self._absorb_late_final(sender, payload)
+        elif (
+            isinstance(payload, ViewChangeMessage)
+            and self.ctx.network.unreliable
+            and payload.statement.phase == Phase.VIEW_CHANGE.value
+            and payload.statement.signer == sender
+            and verify_statement(self.ctx.registry, payload.statement)
+        ):
+            # A *verified* past-round ViewChange on a faulty network
+            # means the sender is stuck behind lost traffic: retransmit
+            # this round's outcome so it can catch up.  (Unverifiable
+            # requests must not solicit block-carrying replies.)
+            self._offer_catch_up(sender, payload.round_number)
+
+    def _offer_catch_up(self, requester: int, round_number: int) -> None:
+        """Resend our own record of a decided/aborted round to a laggard.
+
+        Only ever active on unreliable networks (loss, duplication,
+        crash schedules): on reliable channels every message arrives
+        exactly once and retransmission would perturb byte-identical
+        replays.  For a finalized round we resend our Final with the
+        block body attached; for a view-changed round we resend our
+        CommitView certificate.  Both rebuild deterministic signatures
+        over values we already signed, so no new equivocation can
+        arise; both go point-to-point through the strategy-mediated
+        :meth:`BaseReplica.send_direct` (deviators may withhold).
+        """
+        if requester == self.player_id:
+            return
+        state = self._rounds.get(round_number)
+        if state is None:
+            return
+        if state.finalized and state.tentative_digest is not None:
+            digest = state.tentative_digest
+            block = state.blocks.get(digest)
+            if block is None:
+                return
+            statement = make_statement(self.keypair, Phase.FINAL.value, round_number, digest)
+            final = FinalMessage(statement=statement, block=block)
+            self.send_direct(
+                requester, final, "final", final.size_bytes, round_number,
+                phase=Phase.FINAL.value,
+            )
+        elif state.commit_view_message is not None:
+            message = state.commit_view_message
+            self.send_direct(
+                requester, message, "commit-view", message.size_bytes, round_number,
+                phase=Phase.COMMIT_VIEW.value,
+            )
 
     def _absorb_late_reveal(self, sender: int, message: RevealMessage) -> None:
         round_number = message.round_number
@@ -312,6 +376,8 @@ class PRFTReplica(BaseReplica):
         if not self._valid_statement(statement, sender, Phase.FINAL.value):
             return
         digest = statement.digest
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
         state.finals.setdefault(digest, {})[sender] = statement
         if len(state.finals[digest]) > self.config.n / 2:
             self._retro_finalize(state, digest)
@@ -597,6 +663,8 @@ class PRFTReplica(BaseReplica):
         if not self._valid_statement(statement, sender, Phase.FINAL.value):
             return
         digest = statement.digest
+        if message.block is not None and message.block.digest == digest:
+            state.blocks.setdefault(digest, message.block)
         state.finals.setdefault(digest, {})[sender] = statement
         if state.finalized:
             return
@@ -626,12 +694,90 @@ class PRFTReplica(BaseReplica):
         if state.finalized or state.advanced:
             return
         self.trace("timeout", round=round_number)
+        state.timeouts += 1
+        if self.ctx.network.unreliable:
+            # Faulty link: first re-send everything we already said
+            # (identical statements — receivers dedup), and give the
+            # round one extra timeout to complete before aborting it.
+            self._retransmit_round(state)
+            if state.timeouts == 1:
+                self._arm_round_timer(round_number)
+                return
         self._initiate_view_change(round_number, self._stalled_phase(state))
-        self.set_timer(
-            f"round-{round_number}",
-            self.config.timeout,
-            lambda: self._on_round_timeout(round_number),
-        )
+        self._arm_round_timer(round_number)
+
+    def _retransmit_round(self, state: RoundState) -> None:
+        """Re-broadcast this round's already-emitted messages.
+
+        Every rebuild signs the same (phase, round, digest) tuples we
+        signed the first time — signatures are deterministic, so no
+        retransmission can ever create a double-sign — and receivers
+        key state by (sender, digest), so duplicates are absorbed.
+        Only ever called on unreliable networks.
+        """
+        round_number = state.number
+        if state.finalized or state.view_committed:
+            return
+        if state.sent_proposal is not None:
+            # Resend the *stored* proposal verbatim: rebuilding could
+            # pick up a changed chain head or mempool and produce a
+            # different block — an honest self-inflicted double-sign.
+            self.broadcast(
+                state.sent_proposal,
+                message_type="propose",
+                size_bytes=state.sent_proposal.size_bytes,
+                round_number=round_number,
+                phase=Phase.PROPOSE.value,
+            )
+        for digest in sorted(state.voted_digests):
+            proposal = state.proposals.get(digest)
+            if proposal is None:
+                continue
+            statement = make_statement(self.keypair, Phase.VOTE.value, round_number, digest)
+            vote = VoteMessage(
+                statement=statement, propose_signature=proposal.statement.signature
+            )
+            self.broadcast(
+                vote,
+                message_type="vote",
+                size_bytes=vote.size_bytes,
+                round_number=round_number,
+                phase=Phase.VOTE.value,
+            )
+        for digest in sorted(state.committed_digests):
+            votes = state.votes.get(digest, {})
+            if len(votes) < self.config.quorum_size:
+                continue
+            statement = make_statement(self.keypair, Phase.COMMIT.value, round_number, digest)
+            commit = CommitMessage(
+                statement=statement,
+                votes=frozenset(votes.values()),
+                block=state.blocks.get(digest),
+            )
+            self.broadcast(
+                commit,
+                message_type="commit",
+                size_bytes=commit.size_bytes,
+                round_number=round_number,
+                phase=Phase.COMMIT.value,
+            )
+        for digest in sorted(state.revealed_digests):
+            commits = state.commits.get(digest, {})
+            if len(commits) < self.config.quorum_size:
+                continue
+            statement = make_statement(self.keypair, Phase.REVEAL.value, round_number, digest)
+            reveal = RevealMessage(
+                statement=statement,
+                commits=frozenset(commits.values()),
+                block=state.blocks.get(digest),
+            )
+            self.broadcast(
+                reveal,
+                message_type="reveal",
+                size_bytes=reveal.size_bytes,
+                round_number=round_number,
+                phase=Phase.REVEAL.value,
+            )
 
     def _stalled_phase(self, state: RoundState) -> str:
         if state.revealed_digests:
@@ -655,7 +801,13 @@ class PRFTReplica(BaseReplica):
 
     def _initiate_view_change(self, round_number: int, stalled_phase: str) -> None:
         state = self.round_state(round_number)
-        if state.view_change_sent or state.finalized:
+        if state.finalized:
+            return
+        # On a reliable network one ViewChange suffices (channels are
+        # exactly-once).  Under link faults the first copy may be lost,
+        # so every repeat timeout retransmits — the paper's partial-
+        # synchrony liveness argument assumes exactly this resend loop.
+        if state.view_change_sent and not self.ctx.network.unreliable:
             return
         state.view_change_sent = True
         statement = make_statement(
@@ -705,6 +857,7 @@ class PRFTReplica(BaseReplica):
         state.view_committed = True
         statement = make_statement(self.keypair, Phase.COMMIT_VIEW.value, state.number, "")
         message = CommitViewMessage(statement=statement, view_changes=justification)
+        state.commit_view_message = message
         self.trace("commit_view_sent", round=state.number)
         self.broadcast(
             message,

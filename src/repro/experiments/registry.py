@@ -48,6 +48,7 @@ from repro.net.delays import (
 )
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
+from repro.protocols.lifecycle import CrashSchedule
 from repro.protocols.hotstuff import hotstuff_factory
 from repro.protocols.pbft import pbft_factory
 from repro.protocols.polygraph import polygraph_factory
@@ -92,6 +93,16 @@ class Scenario:
     (group A vs group B), the construction the paper's fork arguments
     use.
 
+    Faults: ``loss_rate`` drops each delivery independently,
+    ``duplicate_rate`` delivers an extra copy, ``reorder_jitter`` adds
+    uniform per-delivery jitter (which reorders traffic relative to
+    send order); all three are stages of the network's link-layer
+    pipeline, seeded per (scenario, seed).  ``crash_spec`` lists
+    ``(replica, crash_time[, recover_time])`` outage windows — a
+    2-tuple is a permanent crash.  With every fault knob at its
+    default, channels are the paper's reliable exactly-once baseline
+    and runs are byte-identical to the pre-fault-pipeline simulator.
+
     Crypto: ``crypto_backend`` selects the signature backend —
     ``hmac-sha256`` (default, unforgeable) or ``fast-sim`` (CRC tags
     for game-theory sweeps that never exercise unforgeability; refused
@@ -126,6 +137,10 @@ class Scenario:
     alpha: float = 1.0
     partition_windows: Tuple[Tuple[float, float], ...] = ()
     partition_groups: Tuple[Tuple[int, ...], ...] = ()
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_jitter: float = 0.0
+    crash_spec: Tuple[Tuple[Any, ...], ...] = ()
     tx_count: Optional[int] = None
     max_time: float = 2_000.0
     max_events: int = 2_000_000
@@ -168,6 +183,23 @@ class Scenario:
             raise ValueError("rational + byzantine must be fewer than n")
         if self.thetas and len(self.thetas) != len(rationals):
             raise ValueError("thetas must have one entry per rational player")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("loss_rate must lie in [0, 1)")
+        if not 0 <= self.duplicate_rate <= 1:
+            raise ValueError("duplicate_rate must lie in [0, 1]")
+        if self.reorder_jitter < 0:
+            raise ValueError("reorder_jitter must be non-negative")
+        if self.crash_spec:
+            # Normalise nested sequences (sweep grids hand us lists) to
+            # tuples so the scenario stays hashable/picklable, then let
+            # CrashSchedule validate windows and overlap.
+            object.__setattr__(
+                self, "crash_spec", tuple(tuple(entry) for entry in self.crash_spec)
+            )
+            schedule = self.build_crash_schedule()
+            for replica in schedule.replicas():
+                if not 0 <= replica < self.n:
+                    raise ValueError(f"crash_spec names replica {replica} outside [0, n)")
 
     # ------------------------------------------------------------------
     # Roster resolution
@@ -257,6 +289,11 @@ class Scenario:
             schedule.add(Partition.of(*groups), start, end)
         return schedule
 
+    def build_crash_schedule(self) -> Optional[CrashSchedule]:
+        if not self.crash_spec:
+            return None
+        return CrashSchedule.from_spec(self.crash_spec)
+
     def effective_max_time(self) -> float:
         # Partial synchrony needs headroom past GST for quorums to form.
         if self.delay == "partial":
@@ -286,6 +323,10 @@ class Scenario:
             seed=f"{self.name}/{seed}",
             crypto_backend=self.crypto_backend,
             crypto_cache_size=self.crypto_cache_size,
+            loss_rate=self.loss_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_jitter=self.reorder_jitter,
+            crash_schedule=self.build_crash_schedule(),
         )
 
     def with_params(self, **overrides: Any) -> "Scenario":
@@ -480,3 +521,65 @@ def protocol_matrix() -> Scenario:
     """Honest baseline meant for cross-protocol grids, e.g.
     --grid protocol=prft,pbft,hotstuff,polygraph,trap n=4,8,16."""
     return Scenario(name="protocol-matrix", n=5, rounds=2, tolerance="bft")
+
+
+# ----------------------------------------------------------------------
+# Adversarial-network scenarios: the link-layer fault pipeline and the
+# crash/recovery lifecycle (Polygraph's faulty-link evaluation, the BAR
+# model's crash class).  All of them are meant to be swept, e.g.
+# --grid loss_rate=0,0.05,0.1,0.2 seeds=20.
+# ----------------------------------------------------------------------
+@register_scenario
+def lossy_honest() -> Scenario:
+    """All players honest over a lossy link (10% drops): agreement and
+    liveness must survive via the timeout retransmission paths."""
+    return Scenario(
+        name="lossy-honest", n=9, rounds=3, loss_rate=0.1,
+        timeout=10.0, max_time=600.0,
+    )
+
+
+@register_scenario
+def lossy_prft_fork() -> Scenario:
+    """The fork collusion attacking over a lossy link: accountability
+    must still capture the double-signers even when some of the
+    conflicting signatures are dropped in flight."""
+    return Scenario(
+        name="lossy-prft-fork", n=9, rounds=4, rational=2, byzantine=1,
+        theta=int(PlayerType.FORK_SEEKING), attack="fork",
+        loss_rate=0.05, timeout=10.0, max_time=800.0,
+    )
+
+
+@register_scenario
+def crash_leader() -> Scenario:
+    """The round-1 leader crashes before its turn: the survivors must
+    view-change past the silent round and commit; the leader recovers
+    later, replays its persisted prefix and catches back up."""
+    return Scenario(
+        name="crash-leader", n=9, rounds=3, crash_spec=((1, 0.5, 60.0),),
+        timeout=10.0, max_time=400.0,
+    )
+
+
+@register_scenario
+def churn_liveness() -> Scenario:
+    """Rolling crash/recovery churn (one replica down at a time): the
+    committee keeps committing, and recovered replicas replay their
+    persisted prefix and catch back up to the head."""
+    return Scenario(
+        name="churn-liveness", n=9, rounds=4,
+        crash_spec=((3, 2.0, 16.0), (4, 18.0, 60.0)),
+        timeout=12.0, max_time=600.0,
+    )
+
+
+@register_scenario
+def duplicate_storm() -> Scenario:
+    """Every other message duplicated and jittered out of order:
+    handlers must be idempotent and order-insensitive."""
+    return Scenario(
+        name="duplicate-storm", n=7, rounds=3,
+        duplicate_rate=0.5, reorder_jitter=0.5,
+        timeout=15.0, max_time=400.0,
+    )

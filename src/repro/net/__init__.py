@@ -1,4 +1,4 @@
-"""Network substrate: reliable channels under three synchrony models.
+"""Network substrate: a link-layer pipeline under three synchrony models.
 
 The paper (Section 3.3 and Appendix A.3) assumes reliable authenticated
 channels — messages are never lost or tampered with, but may be
@@ -10,11 +10,15 @@ delayed — under one of three synchrony flavours:
   asynchronous until an unknown Global Stabilization Time (GST), after
   which delays are bounded.
 
-:class:`~repro.net.network.Network` is the message bus: it applies the
-configured :class:`~repro.net.delays.DelayModel`, honours the active
+:class:`~repro.net.network.Network` is the message bus: every send is
+routed through an ordered :class:`~repro.net.faults.LinkPipeline` of
+link-layer stages — the configured
+:class:`~repro.net.delays.DelayModel`, the active
 :class:`~repro.net.partition.PartitionSchedule` (messages across a
-partition are deferred until the partition heals — reliable channels
-mean delayed, never dropped), and records metrics/trace entries.
+partition are deferred until the partition heals), and optional fault
+stages (probabilistic drop, duplication, reorder-jitter) for the
+adversarial-network scenarios.  With no fault stages, channels are the
+paper's reliable exactly-once baseline.
 """
 
 from repro.net.delays import (
@@ -25,17 +29,34 @@ from repro.net.delays import (
     SynchronousDelay,
 )
 from repro.net.envelope import Envelope
-from repro.net.network import Network
+from repro.net.faults import (
+    DelayStage,
+    DuplicateStage,
+    LinkPipeline,
+    LinkStage,
+    LossStage,
+    PartitionStage,
+    ReorderJitterStage,
+)
+from repro.net.network import Network, UnknownRecipientError
 from repro.net.partition import Partition, PartitionSchedule
 
 __all__ = [
     "AsynchronousDelay",
     "DelayModel",
+    "DelayStage",
+    "DuplicateStage",
     "Envelope",
     "FixedDelay",
+    "LinkPipeline",
+    "LinkStage",
+    "LossStage",
     "Network",
     "PartialSynchronyDelay",
     "Partition",
     "PartitionSchedule",
+    "PartitionStage",
+    "ReorderJitterStage",
     "SynchronousDelay",
+    "UnknownRecipientError",
 ]

@@ -1,17 +1,21 @@
-"""The message bus tying engine, delays, partitions and replicas together.
+"""The message bus tying engine, link pipeline and replicas together.
 
-``Network`` delivers envelopes to registered handlers after the delay
-chosen by the :class:`~repro.net.delays.DelayModel`, deferring
-cross-partition traffic until the partition heals.  Channels are
-reliable and tamper-proof: payloads arrive unmodified, exactly once.
+``Network`` routes every envelope through the deployment's
+:class:`~repro.net.faults.LinkPipeline` — an ordered chain of
+link-layer stages (delay → partition → drop → duplication →
+reorder-jitter) — and schedules one delivery per surviving copy.
+Payloads are tamper-proof (the pipeline transforms delivery *times*,
+never contents); with no fault stages configured, channels are
+reliable and exactly-once, as the paper's baseline model assumes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.net.delays import DelayModel, FixedDelay
+from repro.net.delays import DelayModel
 from repro.net.envelope import Envelope
+from repro.net.faults import LinkPipeline
 from repro.net.partition import PartitionSchedule
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsCollector
@@ -20,8 +24,12 @@ from repro.sim.trace import TraceRecorder
 Handler = Callable[[Envelope], None]
 
 
+class UnknownRecipientError(ValueError):
+    """Raised when an envelope is addressed to an unregistered player."""
+
+
 class Network:
-    """Reliable point-to-point and broadcast delivery with delays."""
+    """Point-to-point and broadcast delivery through the link pipeline."""
 
     def __init__(
         self,
@@ -30,42 +38,88 @@ class Network:
         partitions: Optional[PartitionSchedule] = None,
         metrics: Optional[MetricsCollector] = None,
         trace: Optional[TraceRecorder] = None,
+        pipeline: Optional[LinkPipeline] = None,
     ) -> None:
+        if pipeline is not None and (delay_model is not None or partitions is not None):
+            raise ValueError("pass either a pipeline or delay_model/partitions, not both")
         self._engine = engine
-        self._delay_model = delay_model or FixedDelay()
-        self._partitions = partitions or PartitionSchedule()
+        self._pipeline = pipeline or LinkPipeline.build(
+            delay_model=delay_model, partitions=partitions
+        )
         self.metrics = metrics or MetricsCollector()
         self.trace = trace or TraceRecorder()
         self._handlers: Dict[int, Handler] = {}
+        # Sorted-id cache, rebuilt on (rare) registration so the (hot)
+        # broadcast path never re-sorts.
+        self._participants: Tuple[int, ...] = ()
+        self._crash_faults = False
 
     @property
     def engine(self) -> SimulationEngine:
         return self._engine
 
     @property
+    def pipeline(self) -> LinkPipeline:
+        return self._pipeline
+
+    @property
     def delay_model(self) -> DelayModel:
-        return self._delay_model
+        return self._pipeline.delay_model
+
+    @property
+    def unreliable(self) -> bool:
+        """True when delivery is not exactly-once: the pipeline injects
+        faults, or a crash schedule takes replicas down mid-run.
+        Protocol timeout paths consult this to decide whether to
+        retransmit (retransmission on a reliable network would change
+        executions that must stay byte-identical)."""
+        return self._crash_faults or self._pipeline.fault_injecting
+
+    def mark_unreliable(self) -> None:
+        """Declare out-of-band faults (crash/recovery schedules)."""
+        self._crash_faults = True
 
     def register(self, player_id: int, handler: Handler) -> None:
         """Attach ``handler`` as the inbox of ``player_id``."""
         if player_id in self._handlers:
             raise ValueError(f"player {player_id} already registered")
         self._handlers[player_id] = handler
+        self._participants = tuple(sorted(self._handlers))
 
-    def participants(self) -> Iterable[int]:
-        """Ids of all registered players, sorted."""
-        return sorted(self._handlers)
+    def participants(self) -> Tuple[int, ...]:
+        """Ids of all registered players, sorted (cached on register)."""
+        return self._participants
+
+    def note_undeliverable(self, envelope: Envelope, reason: str) -> None:
+        """Account an envelope that never reached a live state machine.
+
+        Used for link-layer loss (``reason="loss"``) and by replicas
+        when a delivery reaches a crashed or halted state machine: the
+        traffic was sent and carried, but from the protocol's point of
+        view it was dropped, and the metrics say so instead of
+        silently counting it as delivered.
+        """
+        self.metrics.record_drop(envelope.message_type, reason)
+        self.trace.record(
+            self._engine.now,
+            "drop",
+            envelope.recipient,
+            sender=envelope.sender,
+            message_type=envelope.message_type,
+            round=envelope.round_number,
+            reason=reason,
+        )
 
     def send(self, envelope: Envelope) -> None:
-        """Send one envelope; delivery is scheduled on the engine.
+        """Send one envelope; each surviving copy is scheduled on the engine.
 
         Self-addressed envelopes are delivered with the same delay
         distribution (a replica's loopback message still takes a hop in
         the paper's all-to-all broadcasts; this also keeps quorum sizes
-        uniform).
+        uniform) — and are subject to the same link faults.
         """
         if envelope.recipient not in self._handlers:
-            raise ValueError(f"unknown recipient {envelope.recipient}")
+            raise UnknownRecipientError(f"unknown recipient {envelope.recipient}")
         now = self._engine.now
         self.metrics.record_send(envelope.message_type, envelope.size_bytes, envelope.round_number)
         self.trace.record(
@@ -76,9 +130,10 @@ class Network:
             message_type=envelope.message_type,
             round=envelope.round_number,
         )
-        earliest = self._partitions.heal_time(envelope.sender, envelope.recipient, now)
-        delay = self._delay_model.delay(envelope.sender, envelope.recipient, now)
-        deliver_at = max(now + delay, earliest)
+        times = self._pipeline.transmit(envelope.sender, envelope.recipient, now)
+        if not times:
+            self.note_undeliverable(envelope, reason="loss")
+            return
 
         def deliver() -> None:
             self.trace.record(
@@ -91,11 +146,14 @@ class Network:
             )
             self._handlers[envelope.recipient](envelope)
 
-        self._engine.schedule_at(
-            deliver_at,
-            deliver,
-            label=f"deliver:{envelope.message_type}:{envelope.sender}->{envelope.recipient}",
-        )
+        for index, deliver_at in enumerate(times):
+            if index:
+                self.metrics.record_duplicate(envelope.message_type, envelope.size_bytes)
+            self._engine.schedule_at(
+                max(deliver_at, now),
+                deliver,
+                label=f"deliver:{envelope.message_type}:{envelope.sender}->{envelope.recipient}",
+            )
 
     def broadcast(
         self,
@@ -114,7 +172,7 @@ class Network:
         constant function.  Returns the number of envelopes sent.
         """
         sent = 0
-        for recipient in self.participants():
+        for recipient in self._participants:
             payload = payload_for(recipient)
             if payload is None:
                 continue

@@ -3,6 +3,9 @@
 - :mod:`~repro.protocols.base` — the protocol-agnostic replica
   skeleton (configuration, context wiring, signing and broadcast
   helpers with strategy interception);
+- :mod:`~repro.protocols.lifecycle` — the crash/recovery lifecycle
+  (:class:`~repro.protocols.lifecycle.ReplicaStatus`,
+  :class:`~repro.protocols.lifecycle.CrashSchedule`);
 - :mod:`~repro.protocols.runner` — builds a full simulated deployment
   (engine, network, PKI, collateral, replicas) and runs it to a
   :class:`~repro.protocols.runner.RunResult`;
@@ -15,12 +18,16 @@ The paper's own protocol, pRFT, lives in :mod:`repro.core`.
 """
 
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+from repro.protocols.lifecycle import CrashSchedule, CrashWindow, ReplicaStatus
 from repro.protocols.runner import RunResult, build_context, run_consensus
 
 __all__ = [
     "BaseReplica",
+    "CrashSchedule",
+    "CrashWindow",
     "ProtocolConfig",
     "ProtocolContext",
+    "ReplicaStatus",
     "RunResult",
     "build_context",
     "run_consensus",

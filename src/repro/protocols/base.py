@@ -24,6 +24,7 @@ from repro.ledger.collateral import CollateralRegistry
 from repro.ledger.mempool import Mempool
 from repro.net.envelope import Envelope
 from repro.net.network import Network
+from repro.protocols.lifecycle import ReplicaStatus
 from repro.sim.engine import SimulationEngine
 from repro.sim.timers import TimerService
 
@@ -134,6 +135,7 @@ class BaseReplica(ABC):
         self.mempool = Mempool()
         self.keypair: KeyPair = ctx.registry.keypair_of(player.player_id)
         self.halted = False
+        self.status = ReplicaStatus.UP
         ctx.network.register(player.player_id, self._on_envelope)
 
     # ------------------------------------------------------------------
@@ -186,11 +188,25 @@ class BaseReplica(ABC):
         prescribed message, a conflicting alternative, several, or
         nothing.  Returns the number of envelopes sent.
         """
-        if self.halted:
+        if self.halted or self.status is not ReplicaStatus.UP:
             return 0
         if phase is not None and not self.participates(phase):
             return 0
         recipients = list(self.ctx.network.participants())
+        return self._dispatch_plan(
+            recipients, message, alternative_factory, message_type, size_bytes, round_number
+        )
+
+    def _dispatch_plan(
+        self,
+        recipients: List[int],
+        message: Any,
+        alternative_factory: Optional[MessageFactory],
+        message_type: str,
+        size_bytes: int,
+        round_number: int,
+    ) -> int:
+        """Run the strategy's plan for ``recipients`` and send it."""
         plan = self.strategy.plan_broadcast(self, message, alternative_factory, recipients)
         sent = 0
         for recipient, planned in plan.items():
@@ -213,8 +229,46 @@ class BaseReplica(ABC):
                 sent += 1
         return sent
 
+    def send_direct(
+        self,
+        recipient: int,
+        message: Any,
+        message_type: str,
+        size_bytes: int,
+        round_number: int,
+        phase: Optional[str] = None,
+    ) -> int:
+        """One strategy-mediated point-to-point send.
+
+        Catch-up retransmissions route through here.  Unlike
+        :meth:`broadcast` this is allowed while *halted* — halted
+        replicas may still serve decided state, since accountability
+        and the availability of finalized blocks outlive the
+        configured rounds — but never while crashed or recovering.
+        The owning player's strategy keeps its choke point: an
+        abstaining or equivocating strategy shapes (or withholds) the
+        resend exactly as it would a broadcast, so deviators gain no
+        implicit duty of honest catch-up service.
+        """
+        if self.status is not ReplicaStatus.UP:
+            return 0
+        if phase is not None and not self.participates(phase):
+            return 0
+        return self._dispatch_plan(
+            [recipient], message, None, message_type, size_bytes, round_number
+        )
+
     def _on_envelope(self, envelope: Envelope) -> None:
+        if self.status is ReplicaStatus.CRASHED:
+            # A crashed replica has no running state machine: inbound
+            # traffic is lost, and the metrics account it as such.
+            self.ctx.network.note_undeliverable(envelope, reason="crashed")
+            return
         if self.halted:
+            # Protocol actions have ceased; the metrics count the
+            # delivery as dropped, but accountability never stops
+            # (on_halted_payload keeps absorbing evidence).
+            self.ctx.network.note_undeliverable(envelope, reason="halted")
             self.on_halted_payload(envelope.sender, envelope.payload)
             return
         self.handle_payload(envelope.sender, envelope.payload)
@@ -247,6 +301,73 @@ class BaseReplica(ABC):
         """Stop all activity (end of configured rounds)."""
         self.halted = True
         self.ctx.timers.cancel_all(self.player_id)
+
+    # ------------------------------------------------------------------
+    # Crash/recovery lifecycle (see repro.protocols.lifecycle)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Take this replica down: timers die, inbound traffic drops.
+
+        Persisted state (the finalized chain prefix, keys, collected
+        fraud evidence) survives; everything else is volatile and will
+        be discarded on recovery.  Crashing a halted replica is a
+        no-op — it is already inert.
+        """
+        if self.halted or self.status is ReplicaStatus.CRASHED:
+            return
+        self.status = ReplicaStatus.CRASHED
+        self.ctx.timers.cancel_all(self.player_id)
+        self.trace("crash")
+
+    def recover(self) -> None:
+        """Bring a crashed replica back up.
+
+        Replays the persisted chain prefix (tentative blocks were
+        volatile and are rolled back to the last finalized block),
+        hands the protocol its ``on_recover`` hook to rebuild volatile
+        round state and re-enter the current round, then returns to UP.
+        """
+        if self.halted or self.status is not ReplicaStatus.CRASHED:
+            return
+        self.status = ReplicaStatus.RECOVERING
+        dropped = self.chain.rollback_tentative()
+        self.trace(
+            "recover",
+            replayed_blocks=len(self.chain.final_blocks()),
+            rolled_back=len(dropped),
+        )
+        self.on_recover()
+        self.status = ReplicaStatus.UP
+
+    def on_recover(self) -> None:
+        """Rebuild volatile state and re-enter the journalled round.
+
+        Shared template for round-driven protocols (all five fit it):
+        subclasses provide ``_init_volatile_state`` (reset ``_rounds``
+        and any buffers) and ``_arm_round_timer`` (set the round's
+        timeout with the protocol's own callback).  Finalized round
+        states are kept — their outcome is just a view of the
+        persisted chain, and serving catch-up needs them; everything
+        in-flight is discarded, so the replica rejoins with a clean
+        slate and relies on peers' retransmissions — it does NOT
+        re-propose, which would look like equivocation.  A protocol
+        without per-round state can override this wholesale.
+        """
+        rounds = getattr(self, "_rounds", None)
+        if rounds is None:
+            return
+        keep = {
+            number: state
+            for number, state in rounds.items()
+            if getattr(state, "finalized", False)
+        }
+        self._init_volatile_state()
+        self._rounds.update(keep)
+        if self.current_round >= self.config.max_rounds:
+            self.halt()
+            return
+        self.trace("rejoin", round=self.current_round)
+        self._arm_round_timer(self.current_round)
 
     # ------------------------------------------------------------------
     # Abstract protocol hooks

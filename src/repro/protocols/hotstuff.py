@@ -29,12 +29,23 @@ HS_NEWVIEW = "hs-newview"
 
 @dataclass(frozen=True)
 class QuorumCertificate:
-    """An aggregated (threshold-signature) certificate: O(κ) size."""
+    """An aggregated (threshold-signature) certificate: O(κ) size.
+
+    ``attestation`` models the aggregate signature's verifiability
+    inside the simulation's crypto: the aggregating leader signs
+    (phase + "-qc", round, digest), so any replica can check that a
+    *forwarded* certificate really originated with the round's leader
+    — a non-leader cannot fabricate one.  (A byzantine leader could
+    always mint a bogus certificate for its own round; that exposure
+    predates forwarding and is unchanged.)  The attestation stands in
+    for the aggregate itself, so the κ size model is unchanged.
+    """
 
     phase: str
     round_number: int
     digest: str
     signer_count: int
+    attestation: Optional[SignedStatement] = None
 
     @property
     def size_bytes(self) -> int:
@@ -78,7 +89,11 @@ class HsVote:
 
 @dataclass(frozen=True)
 class HsCertificateMessage:
+    """A QC broadcast.  ``block`` is normally None (QCs are O(κ));
+    catch-up retransmissions on faulty links attach the block body."""
+
     certificate: QuorumCertificate
+    block: Optional[Any] = None
 
     @property
     def round_number(self) -> int:
@@ -90,16 +105,41 @@ class HsCertificateMessage:
 
     @property
     def size_bytes(self) -> int:
-        return self.certificate.size_bytes
+        block_size = self.block.size_estimate_bytes if self.block is not None else 0
+        return self.certificate.size_bytes + block_size
+
+
+@dataclass(frozen=True)
+class HsNewView:
+    """A catch-up request: "I timed out of round r without deciding"."""
+
+    statement: SignedStatement
+
+    @property
+    def round_number(self) -> int:
+        return self.statement.round_number
+
+    @property
+    def digest(self) -> None:
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.statement.size_bytes
 
 
 @dataclass
 class _HsRound:
     number: int
+    sent_proposal: Optional[HsProposal] = None
     blocks: Dict[str, Block] = field(default_factory=dict)
     votes: Dict[str, Dict[str, Set[int]]] = field(default_factory=dict)  # phase -> digest -> voters
     voted_phases: Set[str] = field(default_factory=set)
+    votes_cast: Dict[str, str] = field(default_factory=dict)  # phase -> digest we voted
     certified_phases: Set[str] = field(default_factory=set)
+    timeouts: int = 0
+    decide_certificate: Optional[QuorumCertificate] = None
+    decided_digest: Optional[str] = None
     finalized: bool = False
     advanced: bool = False
 
@@ -110,9 +150,13 @@ class HotStuffReplica(BaseReplica):
     def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
         super().__init__(player, config, ctx)
         self.current_round = 0
+        self._started = False
+        self._init_volatile_state()
+
+    def _init_volatile_state(self) -> None:
+        """In-memory round state: lost on a crash, rebuilt on recovery."""
         self._rounds: Dict[int, _HsRound] = {}
         self._future: Dict[int, List[Tuple[int, Any]]] = {}
-        self._started = False
 
     def current_leader(self) -> int:
         return self.leader_of_round(self.current_round)
@@ -135,13 +179,83 @@ class HotStuffReplica(BaseReplica):
             self.halt()
             return
         self.current_round = round_number
-        self.set_timer(
-            f"round-{round_number}", self.config.timeout, lambda: self._advance(round_number)
-        )
+        self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._propose(round_number)
         for sender, payload in self._future.pop(round_number, []):
             self.handle_payload(sender, payload)
+
+    def _arm_round_timer(self, round_number: int) -> None:
+        self.set_timer(
+            f"round-{round_number}", self.config.timeout, lambda: self._on_timeout(round_number)
+        )
+
+    def _on_timeout(self, round_number: int) -> None:
+        """HotStuff paces rounds by timeout: advance unconditionally.
+
+        On a faulty link, first ask peers for the decide we may have
+        missed (the responses arrive after we advanced and go through
+        the late-certificate adoption path).
+        """
+        state = self._state(round_number)
+        if not state.finalized and self.ctx.network.unreliable and not self.halted:
+            state.timeouts += 1
+            if state.timeouts == 1:
+                # Faulty link: re-send what we already said and give
+                # the round one extra timeout before moving on.
+                self._retransmit_round(state)
+                self._arm_round_timer(round_number)
+                return
+            self._request_catch_up(round_number)
+        self._advance(round_number)
+
+    def _retransmit_round(self, state: _HsRound) -> None:
+        """Re-broadcast this round's already-emitted messages.
+
+        The leader re-proposes the identical block and re-broadcasts
+        any certificates it already aggregated; followers re-send their
+        votes (same deterministic statements, so no equivocation can
+        arise and receivers dedup by voter set).
+        """
+        round_number = state.number
+        if self.leader_of_round(round_number) == self.player_id:
+            if state.sent_proposal is not None:
+                # Resend the *stored* proposal verbatim: rebuilding
+                # could sign a different block (self-double-sign).
+                self.broadcast(
+                    state.sent_proposal,
+                    message_type="hs-propose",
+                    size_bytes=state.sent_proposal.size_bytes,
+                    round_number=round_number,
+                    phase=HS_PROPOSE,
+                )
+            for phase in HS_PHASES:
+                if phase not in state.certified_phases:
+                    continue
+                for digest, voters in sorted(state.votes.get(phase, {}).items()):
+                    if len(voters) < self.config.quorum_size:
+                        continue
+                    certificate = QuorumCertificate(
+                        phase=phase,
+                        round_number=round_number,
+                        digest=digest,
+                        signer_count=len(voters),
+                        attestation=make_statement(
+                            self.keypair, phase + "-qc", round_number, digest
+                        ),
+                    )
+                    message_type = HS_DECIDE if phase == HS_PHASES[-1] else phase + "-qc"
+                    self.broadcast(
+                        HsCertificateMessage(certificate=certificate),
+                        message_type=message_type,
+                        size_bytes=certificate.size_bytes,
+                        round_number=round_number,
+                        phase=phase,
+                    )
+                    break
+        for phase, digest in sorted(state.votes_cast.items()):
+            statement = make_statement(self.keypair, phase, round_number, digest)
+            self._send_to_leader(HsVote(statement=statement), round_number)
 
     def _advance(self, round_number: int) -> None:
         state = self._state(round_number)
@@ -162,6 +276,7 @@ class HotStuffReplica(BaseReplica):
         )
         statement = make_statement(self.keypair, HS_PROPOSE, round_number, block.digest)
         message = HsProposal(block=block, statement=statement)
+        self._state(round_number).sent_proposal = message
         self.broadcast(
             message,
             message_type="hs-propose",
@@ -194,7 +309,12 @@ class HotStuffReplica(BaseReplica):
         if round_number > self.current_round:
             self._future.setdefault(round_number, []).append((sender, payload))
             return
+        if isinstance(payload, HsNewView):
+            self._on_newview(sender, payload)
+            return
         if round_number < self.current_round:
+            if isinstance(payload, HsCertificateMessage):
+                self._on_late_certificate(sender, payload)
             return
         if isinstance(payload, HsProposal):
             self._on_proposal(sender, payload)
@@ -202,6 +322,12 @@ class HotStuffReplica(BaseReplica):
             self._on_vote(sender, payload)
         elif isinstance(payload, HsCertificateMessage):
             self._on_certificate(sender, payload)
+
+    def on_halted_payload(self, sender: int, payload: Any) -> None:
+        """Halted replicas still serve catch-up: the availability of
+        decided blocks outlives the configured rounds."""
+        if isinstance(payload, HsNewView):
+            self._on_newview(sender, payload)
 
     def _on_proposal(self, sender: int, message: HsProposal) -> None:
         round_number = message.round_number
@@ -223,6 +349,7 @@ class HotStuffReplica(BaseReplica):
         if phase in state.voted_phases:
             return
         state.voted_phases.add(phase)
+        state.votes_cast[phase] = digest
         statement = make_statement(self.keypair, phase, state.number, digest)
         self._send_to_leader(HsVote(statement=statement), state.number)
 
@@ -249,6 +376,9 @@ class HotStuffReplica(BaseReplica):
             round_number=round_number,
             digest=statement.digest,
             signer_count=len(voters),
+            attestation=make_statement(
+                self.keypair, statement.phase + "-qc", round_number, statement.digest
+            ),
         )
         message_type = HS_DECIDE if statement.phase == HS_PHASES[-1] else statement.phase + "-qc"
         self.broadcast(
@@ -271,9 +401,117 @@ class HotStuffReplica(BaseReplica):
         if phase_index < 0:
             return
         if certificate.phase == HS_PHASES[-1]:
+            state.decide_certificate = certificate
             self._decide(state, certificate.digest)
             return
         self._vote(state, HS_PHASES[phase_index + 1], certificate.digest)
+
+    # ------------------------------------------------------------------
+    # Catch-up on faulty links (loss / duplication / crash schedules)
+    # ------------------------------------------------------------------
+    def _request_catch_up(self, round_number: int) -> None:
+        """Ask peers for the decide QC this replica may have missed."""
+        statement = make_statement(self.keypair, HS_NEWVIEW, round_number, "")
+        message = HsNewView(statement=statement)
+        self.broadcast(
+            message,
+            message_type="hs-newview",
+            size_bytes=message.size_bytes,
+            round_number=round_number,
+            phase=HS_NEWVIEW,
+        )
+
+    def _on_newview(self, sender: int, message: HsNewView) -> None:
+        """Serve a catch-up request: resend the decide QC with the block.
+
+        The QC models an aggregated threshold signature whose leader
+        attestation any receiver can check, so any holder can forward
+        it — verification does not depend on who relays.  Only ever
+        active on unreliable networks; strategy-mediated via
+        :meth:`BaseReplica.send_direct`.
+        """
+        if not self.ctx.network.unreliable or sender == self.player_id:
+            return
+        statement = message.statement
+        if statement.phase != HS_NEWVIEW or statement.signer != sender:
+            return
+        if not verify_statement(self.ctx.registry, statement):
+            return
+        state = self._rounds.get(message.round_number)
+        if state is None or not state.finalized:
+            return
+        if state.decide_certificate is None or state.decided_digest is None:
+            return
+        block = state.blocks.get(state.decided_digest)
+        if block is None:
+            return
+        reply = HsCertificateMessage(certificate=state.decide_certificate, block=block)
+        self.send_direct(
+            sender, reply, HS_DECIDE, reply.size_bytes, message.round_number,
+            phase=HS_PHASES[-1],
+        )
+
+    def _on_late_certificate(self, sender: int, message: HsCertificateMessage) -> None:
+        """Adopt a decide QC for a round we already timed out of.
+
+        Forwarded QCs are accepted from any sender, but only when the
+        leader's attestation checks out (see
+        :class:`QuorumCertificate`): a non-leader cannot fabricate a
+        certificate for a round it did not lead.  Adoption further
+        requires the block to link onto our chain head, and chains
+        through any subsequently-stored decides that now link too.
+        """
+        if not self.ctx.network.unreliable:
+            return
+        certificate = message.certificate
+        if certificate.phase != HS_PHASES[-1]:
+            return
+        if certificate.signer_count < self.config.quorum_size:
+            return
+        if not self._attested(certificate):
+            return
+        state = self._state(certificate.round_number)
+        if state.finalized:
+            return
+        if message.block is not None and message.block.digest == certificate.digest:
+            state.blocks.setdefault(certificate.digest, message.block)
+        state.decide_certificate = certificate
+        self._try_adopt(certificate.round_number)
+
+    def _attested(self, certificate: QuorumCertificate) -> bool:
+        """True if the certificate carries a valid leader attestation."""
+        attestation = certificate.attestation
+        if attestation is None:
+            return False
+        if attestation.phase != certificate.phase + "-qc":
+            return False
+        if attestation.round_number != certificate.round_number:
+            return False
+        if attestation.digest != certificate.digest:
+            return False
+        if attestation.signer != self.leader_of_round(certificate.round_number):
+            return False
+        return verify_statement(self.ctx.registry, attestation)
+
+    def _try_adopt(self, start_round: int) -> None:
+        """Retro-finalize a chain of missed decides, oldest first."""
+        round_number = start_round
+        while round_number < self.current_round:
+            state = self._rounds.get(round_number)
+            if state is None or state.finalized or state.decide_certificate is None:
+                return
+            digest = state.decide_certificate.digest
+            block = state.blocks.get(digest)
+            if block is None or block.parent_digest != self.chain.head().digest:
+                return
+            state.finalized = True
+            state.decided_digest = digest
+            self.chain.append_tentative(block)
+            self.chain.finalize(digest)
+            self.mempool.mark_included(tx.tx_id for tx in block.transactions)
+            self.ctx.collateral.note_block_mined()
+            self.trace("retro_final", round=round_number, digest=digest[:12])
+            round_number += 1
 
     def _decide(self, state: _HsRound, digest: str) -> None:
         if state.finalized:
@@ -282,6 +520,7 @@ class HotStuffReplica(BaseReplica):
         if block is None or block.parent_digest != self.chain.head().digest:
             return
         state.finalized = True
+        state.decided_digest = digest
         self.chain.append_tentative(block)
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)

@@ -89,6 +89,7 @@ class PbftViewChange:
 @dataclass
 class _PbftRound:
     number: int
+    sent_preprepare: Optional[PrePrepare] = None
     blocks: Dict[str, Block] = field(default_factory=dict)
     prepared_digests: Set[str] = field(default_factory=set)
     committed_digests: Set[str] = field(default_factory=set)
@@ -96,6 +97,8 @@ class _PbftRound:
     commits: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
     view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
     view_change_sent: bool = False
+    timeouts: int = 0
+    decided_digest: Optional[str] = None
     finalized: bool = False
     advanced: bool = False
 
@@ -106,9 +109,13 @@ class PBFTReplica(BaseReplica):
     def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
         super().__init__(player, config, ctx)
         self.current_round = 0
+        self._started = False
+        self._init_volatile_state()
+
+    def _init_volatile_state(self) -> None:
+        """In-memory round state: lost on a crash, rebuilt on recovery."""
         self._rounds: Dict[int, _PbftRound] = {}
         self._future: Dict[int, List[Tuple[int, Any]]] = {}
-        self._started = False
 
     def current_leader(self) -> int:
         return self.leader_of_round(self.current_round)
@@ -131,15 +138,18 @@ class PBFTReplica(BaseReplica):
             self.halt()
             return
         self.current_round = round_number
+        self._arm_round_timer(round_number)
+        if self.leader_of_round(round_number) == self.player_id:
+            self._preprepare(round_number)
+        for sender, payload in self._future.pop(round_number, []):
+            self.handle_payload(sender, payload)
+
+    def _arm_round_timer(self, round_number: int) -> None:
         self.set_timer(
             f"round-{round_number}",
             self.config.timeout,
             lambda: self._on_timeout(round_number),
         )
-        if self.leader_of_round(round_number) == self.player_id:
-            self._preprepare(round_number)
-        for sender, payload in self._future.pop(round_number, []):
-            self.handle_payload(sender, payload)
 
     def _advance(self, round_number: int) -> None:
         state = self._state(round_number)
@@ -172,6 +182,7 @@ class PBFTReplica(BaseReplica):
 
     def _preprepare(self, round_number: int) -> None:
         primary = self._make_preprepare(round_number)
+        self._state(round_number).sent_preprepare = primary
         self.broadcast(
             primary,
             message_type="pbft-preprepare",
@@ -190,6 +201,7 @@ class PBFTReplica(BaseReplica):
             self._future.setdefault(round_number, []).append((sender, payload))
             return
         if round_number < self.current_round:
+            self._maybe_serve_catch_up(sender, payload)
             return
         if isinstance(payload, PrePrepare):
             self._on_preprepare(sender, payload)
@@ -271,11 +283,63 @@ class PBFTReplica(BaseReplica):
         if len(state.commits[digest]) >= self.config.quorum_size:
             self._finalize(state, digest)
 
+    def on_halted_payload(self, sender: int, payload: Any) -> None:
+        """Halted replicas still serve catch-up: the availability of
+        decided blocks outlives the configured rounds."""
+        self._maybe_serve_catch_up(sender, payload)
+
+    def _maybe_serve_catch_up(self, sender: int, payload: Any) -> None:
+        """Serve a *verified* past-round ViewChange on a faulty link."""
+        if not self.ctx.network.unreliable:
+            return
+        if not isinstance(payload, PbftViewChange):
+            return
+        if not self._valid(payload.statement, sender, VIEW_CHANGE):
+            return
+        self._offer_catch_up(sender, payload.round_number)
+
+    def _offer_catch_up(self, requester: int, round_number: int) -> None:
+        """Retransmit our round outcome to a peer stuck behind lost traffic.
+
+        pBFT has no justification-carrying messages, so all we can
+        (soundly) resend is our *own* signature: our Commit vote with
+        the block for a finalized round, or our ViewChange vote for an
+        abandoned one.  The laggard assembles its quorum from many
+        helpers' resends, one signer each — exactly the messages it
+        would have received had the link not dropped them.  Only ever
+        active on unreliable networks; strategy-mediated via
+        :meth:`BaseReplica.send_direct`.
+        """
+        if requester == self.player_id:
+            return
+        state = self._rounds.get(round_number)
+        if state is None:
+            return
+        if state.finalized and state.decided_digest is not None:
+            digest = state.decided_digest
+            block = state.blocks.get(digest)
+            if block is None:
+                return
+            statement = make_statement(self.keypair, COMMIT, round_number, digest)
+            vote = PhaseVote(statement=statement, block=block)
+            self.send_direct(
+                requester, vote, "pbft-commit", vote.size_bytes, round_number,
+                phase=COMMIT,
+            )
+        elif state.advanced:
+            statement = make_statement(self.keypair, VIEW_CHANGE, round_number, "")
+            vote = PbftViewChange(statement=statement)
+            self.send_direct(
+                requester, vote, "pbft-view-change", vote.size_bytes, round_number,
+                phase=VIEW_CHANGE,
+            )
+
     def _finalize(self, state: _PbftRound, digest: str) -> None:
         block = state.blocks.get(digest)
         if block is None or block.parent_digest != self.chain.head().digest:
             return
         state.finalized = True
+        state.decided_digest = digest
         self.chain.append_tentative(block)
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)
@@ -290,7 +354,18 @@ class PBFTReplica(BaseReplica):
         state = self._state(round_number)
         if state.finalized:
             return
-        if not state.view_change_sent:
+        state.timeouts += 1
+        if self.ctx.network.unreliable:
+            # Faulty link: first re-send everything we already said
+            # (identical statements — receivers dedup), and give the
+            # round one extra timeout to complete before view-changing.
+            self._retransmit_round(state)
+            if state.timeouts == 1:
+                self._arm_round_timer(round_number)
+                return
+        # Retransmit on repeat timeouts when the link may have dropped
+        # the first copy; on reliable channels one ViewChange suffices.
+        if not state.view_change_sent or self.ctx.network.unreliable:
             state.view_change_sent = True
             statement = make_statement(self.keypair, VIEW_CHANGE, round_number, "")
             message = PbftViewChange(statement=statement)
@@ -301,11 +376,47 @@ class PBFTReplica(BaseReplica):
                 round_number=round_number,
                 phase=VIEW_CHANGE,
             )
-        self.set_timer(
-            f"round-{round_number}",
-            self.config.timeout,
-            lambda: self._on_timeout(round_number),
-        )
+        self._arm_round_timer(round_number)
+
+    def _retransmit_round(self, state: _PbftRound) -> None:
+        """Re-broadcast this round's already-emitted messages.
+
+        Rebuilt statements sign the same tuples as the originals
+        (signatures are deterministic), so retransmission can never
+        create a double-sign; receivers dedup by (sender, digest).
+        """
+        round_number = state.number
+        if state.sent_preprepare is not None:
+            # Resend the *stored* pre-prepare verbatim: rebuilding
+            # could pick up a changed chain head or mempool and sign a
+            # different block — a self-inflicted double-sign.
+            self.broadcast(
+                state.sent_preprepare,
+                message_type="pbft-preprepare",
+                size_bytes=state.sent_preprepare.size_bytes,
+                round_number=round_number,
+                phase=PREPREPARE,
+            )
+        for digest in sorted(state.prepared_digests):
+            statement = make_statement(self.keypair, PREPARE, round_number, digest)
+            vote = PhaseVote(statement=statement)
+            self.broadcast(
+                vote,
+                message_type="pbft-prepare",
+                size_bytes=vote.size_bytes,
+                round_number=round_number,
+                phase=PREPARE,
+            )
+        for digest in sorted(state.committed_digests):
+            statement = make_statement(self.keypair, COMMIT, round_number, digest)
+            vote = PhaseVote(statement=statement, block=state.blocks.get(digest))
+            self.broadcast(
+                vote,
+                message_type="pbft-commit",
+                size_bytes=vote.size_bytes,
+                round_number=round_number,
+                phase=COMMIT,
+            )
 
     def _on_view_change(self, sender: int, message: PbftViewChange) -> None:
         round_number = message.round_number

@@ -110,6 +110,7 @@ class PgViewChange:
 @dataclass
 class _PgRound:
     number: int
+    sent_propose: Optional[PgPropose] = None
     blocks: Dict[str, Block] = field(default_factory=dict)
     prepared_digests: Set[str] = field(default_factory=set)
     committed_digests: Set[str] = field(default_factory=set)
@@ -117,6 +118,8 @@ class _PgRound:
     commits: Dict[str, Dict[int, SignedStatement]] = field(default_factory=dict)
     view_changes: Dict[int, SignedStatement] = field(default_factory=dict)
     view_change_sent: bool = False
+    timeouts: int = 0
+    decided_digest: Optional[str] = None
     finalized: bool = False
     advanced: bool = False
 
@@ -127,11 +130,16 @@ class PolygraphReplica(BaseReplica):
     def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
         super().__init__(player, config, ctx)
         self.current_round = 0
+        # Fraud evidence is persisted (written through on receipt).
         self.detector = FraudDetector(registry=ctx.registry)
         self.reported_guilty: Set[int] = set()
+        self._started = False
+        self._init_volatile_state()
+
+    def _init_volatile_state(self) -> None:
+        """In-memory round state: lost on a crash, rebuilt on recovery."""
         self._rounds: Dict[int, _PgRound] = {}
         self._future: Dict[int, List[Tuple[int, Any]]] = {}
-        self._started = False
 
     def current_leader(self) -> int:
         return self.leader_of_round(self.current_round)
@@ -154,15 +162,18 @@ class PolygraphReplica(BaseReplica):
             self.halt()
             return
         self.current_round = round_number
+        self._arm_round_timer(round_number)
+        if self.leader_of_round(round_number) == self.player_id:
+            self._propose(round_number)
+        for sender, payload in self._future.pop(round_number, []):
+            self.handle_payload(sender, payload)
+
+    def _arm_round_timer(self, round_number: int) -> None:
         self.set_timer(
             f"round-{round_number}",
             self.config.timeout,
             lambda: self._on_timeout(round_number),
         )
-        if self.leader_of_round(round_number) == self.player_id:
-            self._propose(round_number)
-        for sender, payload in self._future.pop(round_number, []):
-            self.handle_payload(sender, payload)
 
     def _advance(self, round_number: int) -> None:
         state = self._state(round_number)
@@ -200,6 +211,7 @@ class PolygraphReplica(BaseReplica):
         )
         statement = make_statement(self.keypair, PG_PROPOSE, round_number, block.digest)
         message = PgPropose(block=block, statement=statement)
+        self._state(round_number).sent_propose = message
 
         def alternative() -> PgPropose:
             from repro.ledger.transaction import Transaction
@@ -232,6 +244,7 @@ class PolygraphReplica(BaseReplica):
             return
         if round_number < self.current_round:
             self._late_absorb(payload)
+            self._maybe_serve_catch_up(sender, payload)
             return
         if isinstance(payload, PgPropose):
             self._on_propose(sender, payload)
@@ -243,8 +256,20 @@ class PolygraphReplica(BaseReplica):
             self._on_view_change(sender, payload)
 
     def on_halted_payload(self, sender: int, payload: Any) -> None:
-        """Accountability outlives the run: keep absorbing evidence."""
+        """Accountability outlives the run: keep absorbing evidence —
+        and keep serving catch-up (decided blocks stay available)."""
         self._late_absorb(payload)
+        self._maybe_serve_catch_up(sender, payload)
+
+    def _maybe_serve_catch_up(self, sender: int, payload: Any) -> None:
+        """Serve a *verified* past-round ViewChange on a faulty link."""
+        if not self.ctx.network.unreliable:
+            return
+        if not isinstance(payload, PgViewChange):
+            return
+        if not self._valid(payload.statement, sender, PG_VIEW_CHANGE):
+            return
+        self._offer_catch_up(sender, payload.round_number)
 
     def _late_absorb(self, payload: Any) -> None:
         statement = getattr(payload, "statement", None)
@@ -345,11 +370,51 @@ class PolygraphReplica(BaseReplica):
         if len(state.commits[digest]) >= self.config.quorum_size:
             self._finalize(state, digest)
 
+    def _offer_catch_up(self, requester: int, round_number: int) -> None:
+        """Retransmit our round outcome to a peer stuck behind lost traffic.
+
+        For a finalized round we rebuild our justification-carrying
+        Commit (statement + the prepare quorum we hold + block); for an
+        abandoned round, our ViewChange vote.  Both are resends of our
+        own signatures over already-signed values, so accountability is
+        unaffected.  Only ever active on unreliable networks;
+        strategy-mediated via :meth:`BaseReplica.send_direct`.
+        """
+        if requester == self.player_id:
+            return
+        state = self._rounds.get(round_number)
+        if state is None:
+            return
+        if state.finalized and state.decided_digest is not None:
+            digest = state.decided_digest
+            block = state.blocks.get(digest)
+            prepares = state.prepares.get(digest, {})
+            if block is None or len(prepares) < self.config.quorum_size:
+                return
+            statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
+            commit = PgCommit(
+                statement=statement,
+                prepares=frozenset(prepares.values()),
+                block=block,
+            )
+            self.send_direct(
+                requester, commit, "pg-commit", commit.size_bytes, round_number,
+                phase=PG_COMMIT,
+            )
+        elif state.advanced:
+            statement = make_statement(self.keypair, PG_VIEW_CHANGE, round_number, "")
+            view_change = PgViewChange(statement=statement)
+            self.send_direct(
+                requester, view_change, "pg-view-change", view_change.size_bytes,
+                round_number, phase=PG_VIEW_CHANGE,
+            )
+
     def _finalize(self, state: _PgRound, digest: str) -> None:
         block = state.blocks.get(digest)
         if block is None or block.parent_digest != self.chain.head().digest:
             return
         state.finalized = True
+        state.decided_digest = digest
         self.chain.append_tentative(block)
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)
@@ -364,7 +429,18 @@ class PolygraphReplica(BaseReplica):
         state = self._state(round_number)
         if state.finalized:
             return
-        if not state.view_change_sent:
+        state.timeouts += 1
+        if self.ctx.network.unreliable:
+            # Faulty link: first re-send everything we already said
+            # (identical statements — receivers dedup), and give the
+            # round one extra timeout to complete before view-changing.
+            self._retransmit_round(state)
+            if state.timeouts == 1:
+                self._arm_round_timer(round_number)
+                return
+        # Retransmit on repeat timeouts when the link may have dropped
+        # the first copy; on reliable channels one ViewChange suffices.
+        if not state.view_change_sent or self.ctx.network.unreliable:
             state.view_change_sent = True
             evidence: Set[SignedStatement] = set()
             for by_signer in state.prepares.values():
@@ -380,11 +456,53 @@ class PolygraphReplica(BaseReplica):
                 round_number=round_number,
                 phase=PG_VIEW_CHANGE,
             )
-        self.set_timer(
-            f"round-{round_number}",
-            self.config.timeout,
-            lambda: self._on_timeout(round_number),
-        )
+        self._arm_round_timer(round_number)
+
+    def _retransmit_round(self, state: _PgRound) -> None:
+        """Re-broadcast this round's already-emitted messages.
+
+        Rebuilt statements sign the same tuples as the originals
+        (signatures are deterministic), so retransmission can never
+        create a double-sign; receivers dedup by (sender, digest).
+        """
+        round_number = state.number
+        if state.sent_propose is not None:
+            # Resend the *stored* proposal verbatim: rebuilding could
+            # pick up a changed chain head or mempool and sign a
+            # different block — a self-inflicted double-sign.
+            self.broadcast(
+                state.sent_propose,
+                message_type="pg-propose",
+                size_bytes=state.sent_propose.size_bytes,
+                round_number=round_number,
+                phase=PG_PROPOSE,
+            )
+        for digest in sorted(state.prepared_digests):
+            statement = make_statement(self.keypair, PG_PREPARE, round_number, digest)
+            self.broadcast(
+                PgPrepare(statement=statement),
+                message_type="pg-prepare",
+                size_bytes=statement.size_bytes,
+                round_number=round_number,
+                phase=PG_PREPARE,
+            )
+        for digest in sorted(state.committed_digests):
+            prepares = state.prepares.get(digest, {})
+            if len(prepares) < self.config.quorum_size:
+                continue
+            statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
+            commit = PgCommit(
+                statement=statement,
+                prepares=frozenset(prepares.values()),
+                block=state.blocks.get(digest),
+            )
+            self.broadcast(
+                commit,
+                message_type="pg-commit",
+                size_bytes=commit.size_bytes,
+                round_number=round_number,
+                phase=PG_COMMIT,
+            )
 
     def _on_view_change(self, sender: int, message: PgViewChange) -> None:
         round_number = message.round_number

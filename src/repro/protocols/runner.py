@@ -22,9 +22,11 @@ from repro.ledger.chain import Chain
 from repro.ledger.collateral import CollateralRegistry
 from repro.ledger.transaction import Transaction
 from repro.net.delays import DelayModel, FixedDelay
+from repro.net.faults import LinkPipeline
 from repro.net.network import Network
 from repro.net.partition import PartitionSchedule
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+from repro.protocols.lifecycle import CrashSchedule
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import MetricsCollector
 from repro.sim.timers import TimerService
@@ -41,13 +43,29 @@ def build_context(
     seed: str = "default",
     crypto_backend: str = DEFAULT_BACKEND,
     crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
+    loss_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    reorder_jitter: float = 0.0,
 ) -> ProtocolContext:
-    """Assemble engine, network, PKI and collateral for a deployment."""
+    """Assemble engine, network, PKI and collateral for a deployment.
+
+    The fault knobs build the network's link-layer pipeline
+    (delay → partition → drop → duplication → reorder-jitter); each
+    stochastic stage is seeded from ``seed``, so faults replay
+    identically for the same (scenario, seed) pair.
+    """
     engine = SimulationEngine()
-    network = Network(
-        engine,
+    pipeline = LinkPipeline.build(
         delay_model=delay_model or FixedDelay(1.0),
         partitions=partitions,
+        loss_rate=loss_rate,
+        duplicate_rate=duplicate_rate,
+        reorder_jitter=reorder_jitter,
+        seed=seed,
+    )
+    network = Network(
+        engine,
+        pipeline=pipeline,
         metrics=MetricsCollector(),
         trace=TraceRecorder(),
     )
@@ -158,6 +176,10 @@ def run_consensus(
     seed: str = "default",
     crypto_backend: str = DEFAULT_BACKEND,
     crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
+    loss_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    reorder_jitter: float = 0.0,
+    crash_schedule: Optional[CrashSchedule] = None,
 ) -> RunResult:
     """Run one full consensus deployment and return the result.
 
@@ -166,6 +188,11 @@ def run_consensus(
     round has work.  ``crypto_backend`` / ``crypto_cache_size``
     configure the deployment's signature backend and the registry's
     verified-signature cache (0 disables caching — the reference path).
+    ``loss_rate`` / ``duplicate_rate`` / ``reorder_jitter`` configure
+    the network's link-layer fault pipeline; ``crash_schedule`` takes
+    replicas through crash/recovery at scheduled virtual times.  With
+    all of them at their defaults the network is the reliable
+    exactly-once channel of the paper's baseline model.
     """
     ids = sorted(p.player_id for p in players)
     if ids != list(range(config.n)):
@@ -179,10 +206,19 @@ def run_consensus(
         seed=seed,
         crypto_backend=crypto_backend,
         crypto_cache_size=crypto_cache_size,
+        loss_rate=loss_rate,
+        duplicate_rate=duplicate_rate,
+        reorder_jitter=reorder_jitter,
     )
     replicas: Dict[int, BaseReplica] = {}
     for player in players:
         replicas[player.player_id] = factory(player, config, ctx)
+
+    if crash_schedule is not None and crash_schedule.windows:
+        # Crash faults break exactly-once delivery just like link loss
+        # does; protocols gate their retransmission paths on this flag.
+        ctx.network.mark_unreliable()
+        crash_schedule.install(ctx.engine, replicas)
 
     if transactions is None:
         transactions = make_transactions(2 * config.block_size * config.max_rounds)

@@ -28,18 +28,69 @@ class MessageStats:
 
 
 class MetricsCollector:
-    """Tallies network traffic by message type and by round."""
+    """Tallies network traffic by message type and by round.
+
+    Send counts measure *protocol-level* traffic (what Figure 3 is
+    about).  Link-layer faults are accounted separately: drops (lost
+    on the wire, or delivered to a crashed/halted recipient) and
+    duplicated copies never perturb the send totals, so fault-free
+    runs keep their historical numbers exactly.
+    """
 
     def __init__(self) -> None:
         self._by_type: Dict[str, MessageStats] = defaultdict(MessageStats)
         self._by_round: Dict[int, MessageStats] = defaultdict(MessageStats)
         self._total = MessageStats()
+        self._dropped_by_reason: Dict[str, int] = defaultdict(int)
+        self._dropped_by_type: Dict[str, int] = defaultdict(int)
+        self._duplicates = MessageStats()
+        self._duplicates_by_type: Dict[str, int] = defaultdict(int)
 
     def record_send(self, message_type: str, size_bytes: int, round_number: int = -1) -> None:
         """Account one message leaving a sender."""
         self._by_type[message_type].add(size_bytes)
         self._by_round[round_number].add(size_bytes)
         self._total.add(size_bytes)
+
+    def record_drop(self, message_type: str, reason: str) -> None:
+        """Account one message that never reached a live state machine.
+
+        ``reason`` is ``"loss"`` (dropped by the link pipeline),
+        ``"crashed"`` or ``"halted"`` (delivered to a recipient that
+        could not process it).  Counted both by reason and by message
+        type, so a lossy run can report *which* traffic was lost.
+        """
+        self._dropped_by_reason[reason] += 1
+        self._dropped_by_type[message_type] += 1
+
+    def record_duplicate(self, message_type: str, size_bytes: int) -> None:
+        """Account one extra link-layer copy of an already-sent message,
+        both in aggregate (count + bytes) and per message type."""
+        self._duplicates.add(size_bytes)
+        self._duplicates_by_type[message_type] += 1
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self._dropped_by_reason.values())
+
+    @property
+    def total_duplicates(self) -> int:
+        return self._duplicates.count
+
+    def dropped_by_reason(self) -> Dict[str, int]:
+        """Return {reason: count} for every observed drop reason."""
+        return dict(self._dropped_by_reason)
+
+    def dropped_by_type(self) -> Dict[str, int]:
+        """Return {message_type: count} for every dropped type."""
+        return dict(self._dropped_by_type)
+
+    def dropped_of(self, message_type: str) -> int:
+        return self._dropped_by_type.get(message_type, 0)
+
+    def duplicates_by_type(self) -> Dict[str, int]:
+        """Return {message_type: extra copies} for every duplicated type."""
+        return dict(self._duplicates_by_type)
 
     @property
     def total_messages(self) -> int:

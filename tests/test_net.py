@@ -109,11 +109,46 @@ class TestPartitionSchedule:
         assert schedule.heal_time(0, 2, 5.0) == 5.0
         assert schedule.heal_time(0, 1, 12.0) == 12.0
 
+    def test_heal_time_boundaries(self):
+        """Sends exactly on the window edges: start is inclusive
+        (blocked, deferred to the end), end is exclusive (crosses
+        immediately)."""
+        schedule = PartitionSchedule()
+        schedule.add(Partition.of({0}, {1}), 10.0, 20.0)
+        assert schedule.heal_time(0, 1, 10.0) == 20.0   # at start: blocked
+        assert schedule.heal_time(0, 1, 20.0) == 20.0   # at end: free
+        assert schedule.heal_time(0, 1, 9.999) == 9.999  # just before: free
+        assert not schedule.blocks_at(0, 1, 20.0)
+        assert schedule.blocks_at(0, 1, 10.0)
+
+    def test_heal_time_chains_across_back_to_back_windows(self):
+        """A send landing in window one, whose heal time lands exactly
+        at the start of window two blocking the same pair, is deferred
+        all the way to the end of window two."""
+        schedule = PartitionSchedule()
+        schedule.add(Partition.of({0}, {1}), 0.0, 10.0)
+        schedule.add(Partition.of({0}, {1}), 10.0, 25.0)
+        assert schedule.heal_time(0, 1, 5.0) == 25.0
+        # A pair only the first window blocks escapes at its end.
+        schedule2 = PartitionSchedule()
+        schedule2.add(Partition.of({0}, {1}), 0.0, 10.0)
+        schedule2.add(Partition.of({0}, {2}), 10.0, 25.0)
+        assert schedule2.heal_time(0, 1, 5.0) == 10.0
+
     def test_overlapping_windows_rejected(self):
         schedule = PartitionSchedule()
         schedule.add(Partition.of({0}, {1}), 0.0, 10.0)
         with pytest.raises(ValueError):
             schedule.add(Partition.of({2}, {3}), 5.0, 15.0)
+
+    def test_touching_windows_allowed_but_contained_rejected(self):
+        """[0,10) then [10,20) touch without overlap; a window nested
+        inside an existing one is an overlap."""
+        schedule = PartitionSchedule()
+        schedule.add(Partition.of({0}, {1}), 0.0, 10.0)
+        schedule.add(Partition.of({0}, {1}), 10.0, 20.0)
+        with pytest.raises(ValueError):
+            schedule.add(Partition.of({0}, {1}), 12.0, 15.0)
 
     def test_zero_length_window_rejected(self):
         schedule = PartitionSchedule()
@@ -149,9 +184,23 @@ class TestNetwork:
         assert inboxes[1][0].payload == "hello"
 
     def test_unknown_recipient_rejected(self):
+        from repro.net.network import UnknownRecipientError
+
         engine, network, _ = _mk_network()
+        with pytest.raises(UnknownRecipientError):
+            network.send(Envelope(0, 9, "x", "msg", 1))
+        # Subclass of ValueError: pre-existing callers keep working.
         with pytest.raises(ValueError):
             network.send(Envelope(0, 9, "x", "msg", 1))
+
+    def test_participants_cached_and_sorted(self):
+        engine, network, _ = _mk_network()
+        first = network.participants()
+        assert first == (0, 1, 2, 3)
+        assert network.participants() is first  # no re-sort per call
+        network.register(9, lambda env: None)
+        network.register(5, lambda env: None)
+        assert network.participants() == (0, 1, 2, 3, 5, 9)
 
     def test_duplicate_registration_rejected(self):
         engine, network, _ = _mk_network()

@@ -48,6 +48,33 @@ class TestEngine:
         assert fired == []
         assert engine.events_processed == 0
 
+    def test_run_until_advances_clock_over_all_cancelled_queue(self):
+        """A queue of nothing but cancelled events must not stop the
+        clock short of the requested bound."""
+        engine = SimulationEngine()
+        for delay in (1.0, 2.0, 3.0):
+            engine.schedule(delay, lambda: None).cancel()
+        engine.run(until=50.0)
+        assert engine.now == 50.0
+        assert engine.events_processed == 0
+        assert engine.pending == 0
+
+    def test_run_without_until_leaves_clock_on_all_cancelled_queue(self):
+        engine = SimulationEngine()
+        engine.schedule(7.0, lambda: None).cancel()
+        engine.run()
+        assert engine.now == 0.0
+        assert engine.pending == 0
+
+    def test_run_until_past_cancelled_head_fires_live_tail(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("dead")).cancel()
+        engine.schedule(2.0, lambda: fired.append("live"))
+        engine.run(until=10.0)
+        assert fired == ["live"]
+        assert engine.now == 10.0
+
     def test_run_until_is_exclusive(self):
         engine = SimulationEngine()
         fired = []
