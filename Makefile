@@ -1,13 +1,14 @@
 # Developer / CI entry points.  `make check` is the gate: tier-1 tests
-# plus a ~10-second smoke sweep through the CLI and the parallel engine.
+# plus a smoke sweep through the CLI/parallel engine and the trace
+# oracle over the full scenario catalog.
 
 PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke bench bench-smoke bench-scaling bench-network example clean
+.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network example clean
 
-check: test smoke
+check: test smoke catalog-check
 	@echo "check: OK"
 
 test:
@@ -16,7 +17,25 @@ test:
 smoke:
 	$(PYTHON) -m repro.cli list-scenarios
 	$(PYTHON) -m repro.cli sweep honest --grid n=4,5 --seeds 2 --jobs 2 --out /tmp/repro-smoke.json
-	$(PYTHON) -m repro.cli run honest -n 5 --rounds 2
+	$(PYTHON) -m repro.cli run honest -n 5 --rounds 2 --check
+
+# Every catalog entry through the trace oracle (exit 1 on violation).
+catalog-check:
+	$(PYTHON) -m repro.cli check-catalog
+
+# Bounded-budget fuzzer gate: the seeded property tests (marker
+# `fuzz`) plus a CLI fuzz pass with a deliberately injected violation
+# proving the oracle -> shrinker -> repro-JSON pipeline end to end
+# (exit 2 = violations found, which for the injected run is success).
+fuzz-smoke:
+	$(PYTHON) -m pytest -q -m fuzz
+	$(PYTHON) -m repro.cli fuzz --budget 40 --seed 0 --jobs 2 \
+		--artifacts /tmp/repro-fuzz-artifacts --out /tmp/repro-fuzz.json
+	$(PYTHON) -m repro.cli fuzz --budget 5 --seed 0 --inject-violation \
+		--artifacts /tmp/repro-fuzz-artifacts; test $$? -eq 2
+	test -f /tmp/repro-fuzz-artifacts/fuzz-0-injected.json
+	$(PYTHON) -m repro.cli run /tmp/repro-fuzz-artifacts/fuzz-0-injected.json \
+		| grep -q "trace oracle: VIOLATED"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

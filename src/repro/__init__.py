@@ -62,6 +62,7 @@ from repro.net.delays import (
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.runner import RunResult, make_transactions, run_consensus
+from repro.checks import OracleReport, run_oracle
 from repro.experiments import (
     RunRecord,
     Scenario,
@@ -72,6 +73,7 @@ from repro.experiments import (
     run_sweep,
     scenario_catalog,
 )
+from repro.experiments.fuzz import run_fuzz
 
 __version__ = "1.0.0"
 
@@ -90,6 +92,7 @@ __all__ = [
     "EquivocateStrategy",
     "FixedDelay",
     "HonestStrategy",
+    "OracleReport",
     "PRFTReplica",
     "PartialSynchronyDelay",
     "Partition",
@@ -121,6 +124,8 @@ __all__ = [
     "rational_player",
     "register_scenario",
     "run_consensus",
+    "run_fuzz",
+    "run_oracle",
     "run_sweep",
     "scenario_catalog",
     "__version__",

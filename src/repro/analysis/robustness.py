@@ -25,6 +25,7 @@ from repro.ledger.chain import Chain
 from repro.ledger.validation import (
     chains_agree,
     disagreement_heights,
+    is_adversarial_marker,
     strict_ordering_holds,
 )
 from repro.protocols.runner import RunResult
@@ -68,7 +69,7 @@ def _validity_holds(result: RunResult, chains: Dict[int, Chain]) -> bool:
     for chain in chains.values():
         for block in chain.final_blocks():
             for tx in block.transactions:
-                if tx.tx_id not in submitted and not tx.tx_id.startswith("__fork-"):
+                if tx.tx_id not in submitted and not is_adversarial_marker(tx.tx_id):
                     return False
     return True
 

@@ -1,0 +1,525 @@
+"""The invariant-checker library.
+
+Each checker guards one trace-level property the paper proves (or
+assumes) and reports :class:`Violation` objects when a finished run
+breaks it.  Checkers are small, independent and protocol-agnostic:
+they read honest chains, the trace, the collateral registry and the
+fraud proofs honest replicas hold — the same public artifacts the
+analysis layer uses — plus duck-typed quorum evidence where a protocol
+retains it.
+
+A checker is *unconditional* (the property must hold on every run,
+whatever the adversary does — e.g. no honest player is ever burned) or
+*conditional* on an expectation (`safety`/`liveness`): agreement is
+only guaranteed while the deviator counts stay inside the protocol's
+RFT(t, k) envelope, so the oracle skips the checker — it does not
+report a violation — outside it.  :mod:`repro.checks.oracle` owns that
+applicability logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.robustness import check_robustness
+from repro.core.messages import SignedStatement, verify_statement
+from repro.core.pof import FraudProof
+from repro.ledger.chain import ConfirmationStatus
+from repro.ledger.validation import (
+    chains_agree,
+    disagreement_heights,
+    is_adversarial_marker,
+    strict_ordering_holds,
+)
+from repro.protocols.runner import RunResult
+
+#: checker name → the paper result it guards (rendered by docs/CLI).
+CHECKER_PAPER_REFS: Dict[str, str] = {
+    "agreement": "(t,k)-agreement, Def. 1 / Thm 5",
+    "prefix-consistency": "c-strict ordering, Def. 1",
+    "chain-integrity": "ledger well-formedness, Sec. 3.1",
+    "validity": "(t,k)-validity / external validity, Def. 1",
+    "liveness": "(t,k)-eventual liveness, Def. 1 / Thm 5",
+    "no-honest-pof": "accountability soundness (honest side), Def. 6",
+    "accountability": "burn exactly for provable fraud, Def. 6 / Sec. 5.3.1",
+    "collateral": "deposit conservation, Sec. 5.3.1",
+    "crash-recovery": "persisted-prefix monotonicity (BAR crash class)",
+    "quorum-certs": "quorum-certificate well-formedness, Fig. 2b",
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough detail to debug the run."""
+
+    checker: str
+    message: str
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    def detail_dict(self) -> Dict[str, Any]:
+        return dict(self.detail)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.detail:
+            return f"[{self.checker}] {self.message}"
+        extras = ", ".join(f"{key}={value}" for key, value in self.detail)
+        return f"[{self.checker}] {self.message} ({extras})"
+
+
+def _violation(checker: str, message: str, **detail: Any) -> Violation:
+    return Violation(checker=checker, message=message, detail=tuple(sorted(detail.items())))
+
+
+@dataclass
+class OracleContext:
+    """Everything a checker may look at for one finished run."""
+
+    result: RunResult
+    scenario: Optional[Any] = None
+    seed: Optional[int] = None
+    _honest_chains: Optional[Dict[int, Any]] = field(default=None, repr=False)
+    _honest_proofs: Optional[Dict[int, FraudProof]] = field(default=None, repr=False)
+
+    @property
+    def honest_chains(self) -> Dict[int, Any]:
+        if self._honest_chains is None:
+            self._honest_chains = self.result.honest_chains()
+        return self._honest_chains
+
+    @property
+    def censored_tx_ids(self) -> Optional[List[str]]:
+        censored = list(getattr(self.scenario, "censored_tx_ids", ()) or ())
+        return censored or None
+
+    def honest_proofs(self) -> Dict[int, FraudProof]:
+        """Fraud proofs held by honest replicas, keyed by accused.
+
+        Cached: several checkers consume (and re-verify) the merged
+        dict, and one collection per oracle pass is enough.
+        """
+        if self._honest_proofs is None:
+            proofs: Dict[int, FraudProof] = {}
+            for pid in self.result.honest_ids:
+                detector = getattr(self.result.replicas[pid], "detector", None)
+                if detector is None:
+                    continue
+                proofs.update(detector.proofs())
+            self._honest_proofs = proofs
+        return self._honest_proofs
+
+    def ground_truth_deviators(self) -> Set[int]:
+        """Players whose strategy signs conflicting statements (π_ds)."""
+        return {
+            player.player_id
+            for player in self.result.players
+            if player.strategy.double_votes()
+        }
+
+
+class InvariantChecker:
+    """Base checker: a name, a condition tag and a ``check`` hook.
+
+    ``condition`` is ``None`` for unconditional invariants, or the
+    expectation (``"safety"``/``"liveness"``) that must hold for the
+    checker to apply; the oracle skips inapplicable checkers rather
+    than reporting vacuous violations.
+    """
+
+    name: str = "invariant"
+    condition: Optional[str] = None
+
+    def check(self, ctx: OracleContext) -> List[Violation]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Safety-conditional checkers
+# ----------------------------------------------------------------------
+class AgreementChecker(InvariantChecker):
+    """(t,k)-agreement: no two honest players confirm different blocks
+    at the same height (Definition 1; guaranteed inside the RFT(t, k)
+    envelope by Theorem 5)."""
+
+    name = "agreement"
+    condition = "safety"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        chains = ctx.honest_chains
+        if chains_agree(chains, final_only=True):
+            return []
+        return [_violation(
+            self.name,
+            "honest players confirmed conflicting blocks",
+            fork_heights=tuple(disagreement_heights(chains, final_only=True)),
+        )]
+
+
+class PrefixConsistencyChecker(InvariantChecker):
+    """c-strict ordering at c=0: every honest final ledger is a prefix
+    of every longer one (Definition 1)."""
+
+    name = "prefix-consistency"
+    condition = "safety"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        if strict_ordering_holds(ctx.honest_chains, c=0):
+            return []
+        return [_violation(self.name, "honest final ledgers are not prefixes of one another")]
+
+
+class LivenessChecker(InvariantChecker):
+    """(t,k)-eventual liveness plus progress: the run confirmed at
+    least one block and no honest player is more than one block behind
+    at cut-off (Definition 1, with the run-end slack the robustness
+    checker documents).  Censorship resistance is folded in when the
+    scenario names censored transactions but runs no censoring attack."""
+
+    name = "liveness"
+    condition = "liveness"
+
+    @staticmethod
+    def _progress_expected(scenario: Any) -> bool:
+        """Progress (≥1 block in ``rounds`` rounds) is only promised on
+        an undisturbed network: any abort path (lossy links, crashes,
+        partitions, pre-GST adversarial delays, jitter that can push a
+        delivery past the phase timeout) can legitimately view-change
+        away every configured round — Definition 1's *eventual*
+        liveness puts no deadline inside a bounded run."""
+        delta = float(getattr(scenario, "delta", 0.0))
+        jitter = float(getattr(scenario, "reorder_jitter", 0.0))
+        timeout = float(getattr(scenario, "timeout", float("inf")))
+        return (
+            float(getattr(scenario, "loss_rate", 0.0)) == 0.0
+            and not (getattr(scenario, "crash_spec", ()) or ())
+            and not (getattr(scenario, "partition_windows", ()) or ())
+            and getattr(scenario, "delay", "fixed") in ("fixed", "synchronous")
+            and delta + jitter < timeout
+        )
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        verdict = check_robustness(ctx.result, censored_tx_ids=ctx.censored_tx_ids)
+        violations: List[Violation] = []
+        progress_expected = self._progress_expected(ctx.scenario)
+        if not verdict.progressed and progress_expected:
+            violations.append(_violation(self.name, "no block was ever finalised"))
+        if not verdict.eventual_liveness:
+            violations.append(_violation(
+                self.name,
+                "honest final heights diverge beyond the run-end slack",
+                max_height=verdict.max_final_height,
+                min_height=verdict.min_final_height,
+            ))
+        if (
+            verdict.censorship_resistance is False
+            and progress_expected  # confirmation is a progress property
+            and not getattr(ctx.scenario, "attack", None)
+        ):
+            violations.append(_violation(
+                self.name, "a transaction submitted to all honest players never confirmed"
+            ))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# Unconditional checkers
+# ----------------------------------------------------------------------
+class ChainIntegrityChecker(InvariantChecker):
+    """Each honest ledger is internally well-formed: blocks link by
+    parent digest from genesis, and the finalised prefix is contiguous
+    (no final block above a tentative one — finalisation finalises the
+    whole prefix, Section 3.1)."""
+
+    name = "chain-integrity"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        violations: List[Violation] = []
+        for pid, chain in ctx.honest_chains.items():
+            blocks = chain.blocks(include_genesis=True)
+            for height in range(1, len(blocks)):
+                if blocks[height].parent_digest != blocks[height - 1].digest:
+                    violations.append(_violation(
+                        self.name, "broken parent link", player=pid, height=height,
+                    ))
+            seen_tentative = False
+            for height in range(len(blocks)):
+                status = chain.status_at(height)
+                if status is ConfirmationStatus.TENTATIVE:
+                    seen_tentative = True
+                elif seen_tentative:
+                    violations.append(_violation(
+                        self.name, "final block above a tentative one",
+                        player=pid, height=height,
+                    ))
+        return violations
+
+
+class ValidityChecker(InvariantChecker):
+    """External validity: every transaction confirmed on an honest
+    ledger was actually submitted by a client (Definition 1's validity
+    clause — no fabricated content).  Adversarial fork markers are
+    legitimate *proposed* content and are exempt; whether they may
+    ever confirm is the agreement checker's business."""
+
+    name = "validity"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        submitted = set(ctx.result.submitted_tx_ids)
+        violations: List[Violation] = []
+        for pid, chain in ctx.honest_chains.items():
+            for block in chain.final_blocks():
+                for tx in block.transactions:
+                    if tx.tx_id in submitted or is_adversarial_marker(tx.tx_id):
+                        continue
+                    violations.append(_violation(
+                        self.name, "confirmed transaction was never submitted",
+                        player=pid, tx_id=tx.tx_id,
+                    ))
+        return violations
+
+
+class NoHonestPofChecker(InvariantChecker):
+    """Accountability soundness, honest side: no honest player is ever
+    burned, and no verifying Proof-of-Fraud accuses one (Definition 6:
+    V(π) never outputs an honest player — honest players never
+    double-sign and signatures are unforgeable)."""
+
+    name = "no-honest-pof"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        honest = set(ctx.result.honest_ids)
+        violations: List[Violation] = []
+        framed = sorted(ctx.result.penalised_players() & honest)
+        if framed:
+            violations.append(_violation(
+                self.name, "honest players had collateral burned", players=tuple(framed),
+            ))
+        registry = ctx.result.ctx.registry
+        if registry.backend.unforgeable:
+            accused = {
+                accused
+                for accused, proof in ctx.honest_proofs().items()
+                if proof.verify(registry)
+            }
+            framed = sorted(accused & honest)
+            if framed:
+                violations.append(_violation(
+                    self.name, "a verifying Proof-of-Fraud accuses honest players",
+                    players=tuple(framed),
+                ))
+        return violations
+
+
+class AccountabilityChecker(InvariantChecker):
+    """Collateral is burned exactly for provable fraud (Section 5.3.1):
+    every burned replica is named by a Proof-of-Fraud that verifies
+    against the trusted setup and actually deviated (π_ds ground
+    truth).  Burns under a forgeable backend are violations outright —
+    a proof nobody-but-the-accused could have produced is the *only*
+    thing that justifies a burn, and ``fast-sim`` tags prove nothing."""
+
+    name = "accountability"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        burned = ctx.result.penalised_players()
+        if not burned:
+            return []
+        registry = ctx.result.ctx.registry
+        if not registry.backend.unforgeable:
+            return [_violation(
+                self.name,
+                "collateral burned under a forgeable crypto backend: no binding proof can exist",
+                backend=registry.backend.name, players=tuple(sorted(burned)),
+            )]
+        violations: List[Violation] = []
+        proofs = ctx.honest_proofs()
+        provable = {accused for accused, proof in proofs.items() if proof.verify(registry)}
+        unproven = sorted(burned - provable)
+        if unproven:
+            violations.append(_violation(
+                self.name, "burned players lack a verifying Proof-of-Fraud",
+                players=tuple(unproven),
+            ))
+        framed = sorted(burned - ctx.ground_truth_deviators())
+        if framed:
+            violations.append(_violation(
+                self.name, "burned players never actually double-signed",
+                players=tuple(framed),
+            ))
+        return violations
+
+
+class CollateralConservationChecker(InvariantChecker):
+    """Deposit conservation: every player enrolled exactly once, each
+    balance + penalty equals the deposit L, and the penalised set is
+    exactly the burned set (the L·D term of the round utility reads
+    from here, so drift corrupts every payoff downstream)."""
+
+    name = "collateral"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        collateral = ctx.result.ctx.collateral
+        player_ids = sorted(player.player_id for player in ctx.result.players)
+        violations: List[Violation] = []
+        if collateral.enrolled() != player_ids:
+            violations.append(_violation(
+                self.name, "enrolled set does not match the roster",
+                enrolled=tuple(collateral.enrolled()),
+            ))
+            return violations
+        burned = collateral.burned_players()
+        for pid in player_ids:
+            balance = collateral.balance_of(pid)
+            penalty = collateral.penalty_of(pid)
+            if balance + penalty != collateral.deposit:
+                violations.append(_violation(
+                    self.name, "balance + penalty does not equal the deposit",
+                    player=pid, balance=balance, penalty=penalty,
+                ))
+            if (penalty > 0) != (pid in burned):
+                violations.append(_violation(
+                    self.name, "penalty and burn status disagree", player=pid,
+                ))
+        return violations
+
+
+class CrashRecoveryChecker(InvariantChecker):
+    """Crash/recovery monotonicity: per replica, crash and recover
+    trace events alternate, the replayed persisted prefix never
+    shrinks across recoveries, and the final ledger is at least as
+    long as the last replayed prefix (recovery replays — it never
+    invents or loses — finalised state)."""
+
+    name = "crash-recovery"
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        violations: List[Violation] = []
+        down: Dict[int, bool] = {}
+        last_replayed: Dict[int, int] = {}
+        for event in ctx.result.trace:
+            if event.kind not in ("crash", "recover") or event.player is None:
+                continue
+            pid = event.player
+            if event.kind == "crash":
+                if down.get(pid):
+                    violations.append(_violation(
+                        self.name, "replica crashed twice without recovering",
+                        player=pid, time=event.time,
+                    ))
+                down[pid] = True
+                continue
+            if not down.get(pid):
+                violations.append(_violation(
+                    self.name, "replica recovered without a preceding crash",
+                    player=pid, time=event.time,
+                ))
+            down[pid] = False
+            replayed = int(event.detail.get("replayed_blocks", 0))
+            if replayed < last_replayed.get(pid, 0):
+                violations.append(_violation(
+                    self.name, "persisted prefix shrank across recoveries",
+                    player=pid, replayed=replayed, previous=last_replayed[pid],
+                ))
+            last_replayed[pid] = max(last_replayed.get(pid, 0), replayed)
+        for pid, replayed in last_replayed.items():
+            final_height = len(ctx.result.replicas[pid].chain.final_blocks())
+            if final_height < replayed:
+                violations.append(_violation(
+                    self.name, "final ledger shorter than the last replayed prefix",
+                    player=pid, final=final_height, replayed=replayed,
+                ))
+        return violations
+
+
+class QuorumCertificateChecker(InvariantChecker):
+    """Quorum-certificate well-formedness over the evidence honest
+    replicas retained: each statement in a per-digest signer map is
+    keyed by its real signer, pinned to that round and digest,
+    phase-uniform within the map, and carries a verifying signature
+    (Figure 2b's binding of phase+round into every signed statement).
+    Duck-typed so any protocol whose round state keeps
+    ``digest → {signer: SignedStatement}`` maps is covered; others are
+    vacuously fine."""
+
+    name = "quorum-certs"
+
+    # pRFT keeps votes/commits/finals; pBFT and Polygraph keep
+    # prepares/commits — Polygraph finalizes on prepare certificates,
+    # so their well-formedness is core accountability evidence.
+    _QUORUM_ATTRS = ("votes", "prepares", "commits", "finals")
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        registry = ctx.result.ctx.registry
+        if not registry.backend.unforgeable:
+            return []
+        violations: List[Violation] = []
+        for pid in ctx.result.honest_ids:
+            rounds = getattr(ctx.result.replicas[pid], "_rounds", None)
+            if not isinstance(rounds, dict):
+                continue
+            for state in rounds.values():
+                round_number = getattr(state, "number", None)
+                for attr in self._QUORUM_ATTRS:
+                    mapping = getattr(state, attr, None)
+                    if not isinstance(mapping, dict):
+                        continue
+                    for digest, by_signer in mapping.items():
+                        if not isinstance(by_signer, dict):
+                            continue
+                        violations.extend(self._check_map(
+                            ctx, pid, attr, round_number, digest, by_signer, registry,
+                        ))
+        return violations
+
+    def _check_map(
+        self,
+        ctx: OracleContext,
+        pid: int,
+        attr: str,
+        round_number: Optional[int],
+        digest: str,
+        by_signer: Dict[int, Any],
+        registry: Any,
+    ) -> List[Violation]:
+        violations: List[Violation] = []
+        phases = set()
+        for signer, statement in by_signer.items():
+            if not isinstance(statement, SignedStatement):
+                # Another protocol's structure under a matching attribute
+                # name: skip the entry, but never discard violations
+                # already found for real statements in the same map.
+                continue
+            phases.add(statement.phase)
+            ok = (
+                statement.signer == signer
+                and statement.digest == digest
+                and (round_number is None or statement.round_number == round_number)
+                and verify_statement(registry, statement)
+            )
+            if not ok:
+                violations.append(_violation(
+                    self.name, "retained quorum statement is malformed or unverifiable",
+                    holder=pid, slot=attr, round=round_number, signer=signer,
+                ))
+        if len(phases) > 1:
+            violations.append(_violation(
+                self.name, "mixed phases inside one quorum map",
+                holder=pid, slot=attr, round=round_number,
+            ))
+        return violations
+
+
+def default_checkers() -> List[InvariantChecker]:
+    """The full checker battery, in report order."""
+    return [
+        AgreementChecker(),
+        PrefixConsistencyChecker(),
+        ValidityChecker(),
+        LivenessChecker(),
+        ChainIntegrityChecker(),
+        NoHonestPofChecker(),
+        AccountabilityChecker(),
+        CollateralConservationChecker(),
+        CrashRecoveryChecker(),
+        QuorumCertificateChecker(),
+    ]

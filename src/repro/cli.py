@@ -1,17 +1,22 @@
-"""Command-line interface: scenarios, sweeps and the catalog.
+"""Command-line interface: scenarios, sweeps, fuzzing and the catalog.
 
 Subcommands::
 
-    repro run <scenario> [...]        # one scenario, one run
-    repro sweep <scenario> [...]      # parameter grid x seeds, parallel
-    repro list-scenarios              # the registered catalog
+    repro run <scenario|file.json> [...]  # one scenario, one run
+    repro sweep <scenario> [...]          # parameter grid x seeds, parallel
+    repro fuzz [...]                      # generated scenarios + oracle + shrinking
+    repro check-catalog                   # trace oracle over every catalog entry
+    repro list-scenarios                  # the registered catalog
 
 Examples::
 
     repro run honest --protocol prft -n 8 --rounds 3
-    repro run fork -n 9 --rational 2 --byzantine 1
+    repro run fork -n 9 --rational 2 --byzantine 1 --check
+    repro run fuzz-artifacts/fuzz-0-0012.json      # replay a shrunk repro
     repro sweep honest --grid n=4,8,16,32 --seeds 10 --jobs 8 --out results.json
-    repro sweep partition-fork --grid quorum=5,6,7 --seeds 5
+    repro sweep lossy-honest --grid loss_rate=0,0.1 --seeds 5 --check
+    repro fuzz --budget 200 --seed 0 --jobs 8 --artifacts fuzz-artifacts
+    repro check-catalog
     repro list-scenarios
 
 The bare legacy form ``repro honest -n 8`` (no subcommand) keeps
@@ -19,8 +24,13 @@ working: a leading CLI scenario name is routed to ``run``.
 
 ``run`` prints the terminal system state, the ledger lengths,
 penalised players, and the robustness verdict — the same quantities
-the paper's analysis is about.  ``sweep`` prints per-grid-point
-aggregates and can persist full records as JSON/CSV.
+the paper's analysis is about; ``--check`` adds the trace oracle's
+invariant verdicts (exit status 1 on a violation).  ``sweep`` prints
+per-grid-point aggregates and can persist full records as JSON/CSV.
+``fuzz`` runs the deterministic scenario fuzzer: seeded random
+composition of the full axis space, every run oracle-checked, any
+violating configuration shrunk to a minimal reproducing scenario and
+written as a ready-to-register JSON that ``repro run <file>`` replays.
 """
 
 from __future__ import annotations
@@ -58,11 +68,22 @@ LEGACY_SCENARIOS = ("honest", "fork", "liveness", "censorship")
 # ----------------------------------------------------------------------
 # Parsers
 # ----------------------------------------------------------------------
-def _add_run_arguments(parser: argparse.ArgumentParser, choices: Sequence[str] = LEGACY_SCENARIOS) -> None:
-    parser.add_argument(
-        "scenario", choices=choices,
-        help="which scenario to run",
-    )
+def _add_run_arguments(
+    parser: argparse.ArgumentParser, choices: Optional[Sequence[str]] = LEGACY_SCENARIOS
+) -> None:
+    if choices is None:
+        # The `run` subcommand accepts the whole catalog *or* a path
+        # to a scenario JSON (e.g. a fuzzer repro); validated in
+        # cmd_run so the error can list the catalog.
+        parser.add_argument(
+            "scenario", metavar="SCENARIO|FILE.json",
+            help="a registered scenario name, or a scenario/repro JSON file",
+        )
+    else:
+        parser.add_argument(
+            "scenario", choices=choices,
+            help="which scenario to run",
+        )
     parser.add_argument("--protocol", choices=sorted(FACTORIES), default="prft")
     parser.add_argument("-n", type=int, default=9, help="committee size")
     parser.add_argument("--rounds", type=int, default=3, help="consensus rounds")
@@ -70,7 +91,9 @@ def _add_run_arguments(parser: argparse.ArgumentParser, choices: Sequence[str] =
     parser.add_argument("--byzantine", type=int, default=1, help="byzantine players t")
     parser.add_argument("--timeout", type=float, default=15.0, help="phase timeout Δ")
     parser.add_argument("--gst", type=float, default=None, help="run partially synchronous with this GST")
-    parser.add_argument("--seed", type=int, default=0)
+    # Default None (not 0) so an explicit `--seed 0` is distinguishable
+    # from "unset" when a scenario JSON carries its own embedded seed.
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--loss-rate", type=float, default=0.0,
         help="link-layer drop probability per delivery (0 = reliable)",
@@ -87,6 +110,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser, choices: Sequence[str] =
         "--crash", action="append", default=[], metavar="PID@T0[:T1]",
         help="crash replica PID at T0, recovering at T1 (omit T1 for a "
              "permanent crash); repeatable",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the trace oracle post-hoc and print its invariant "
+             "verdicts (exit status 1 on a violation)",
     )
 
 
@@ -110,10 +138,10 @@ def build_cli_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser(
         "run", help="run one scenario once and print its report"
     )
-    # `run` accepts the whole catalog; the roster flags only shape the
-    # four legacy scenarios (catalog entries carry their own roster).
-    all_scenarios = sorted(set(LEGACY_SCENARIOS) | set(scenario_catalog()))
-    _add_run_arguments(run_parser, choices=all_scenarios)
+    # `run` accepts the whole catalog plus scenario JSON files; the
+    # roster flags only shape the four legacy scenarios (catalog
+    # entries and files carry their own roster).
+    _add_run_arguments(run_parser, choices=None)
     run_parser.set_defaults(func=cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -134,7 +162,54 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="include per-run wall times in files (breaks byte-for-byte determinism)",
     )
+    sweep_parser.add_argument(
+        "--check", action="store_true",
+        help="oracle-check every run (verdicts land in the records; "
+             "exit status 1 if any run violates an invariant)",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="generate scenarios from a seeded RNG, oracle-check each run, "
+             "shrink violations to minimal repro JSONs",
+    )
+    fuzz_parser.add_argument("--budget", type=int, default=100, help="generated trials")
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="fuzz campaign seed")
+    fuzz_parser.add_argument(
+        "--profile", choices=("safe", "wild"), default="safe",
+        help="safe: in-tolerance envelope where any violation is a bug "
+             "(liveness skipped on attack trials by design); wild: "
+             "adversarial axis space, conditional checkers may skip",
+    )
+    fuzz_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    fuzz_parser.add_argument(
+        "--artifacts", default="fuzz-artifacts",
+        help="directory for shrunk-repro JSONs (created on first violation)",
+    )
+    fuzz_parser.add_argument("--out", default=None, help="write the full fuzz report as JSON")
+    fuzz_parser.add_argument(
+        "--shrink-budget", type=int, default=64,
+        help="max re-runs spent shrinking each violating configuration",
+    )
+    fuzz_parser.add_argument(
+        "--max-shrinks", type=int, default=5,
+        help="how many violating trials to shrink into repro artifacts "
+             "(the rest keep their full records in --out)",
+    )
+    fuzz_parser.add_argument(
+        "--inject-violation", action="store_true",
+        help="replace trial 0 with a config that must violate the "
+             "accountability invariant (self-test of the oracle+shrinker)",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    catalog_parser = subparsers.add_parser(
+        "check-catalog",
+        help="run the trace oracle over every registered catalog scenario",
+    )
+    catalog_parser.add_argument("--seeds", type=int, default=1, help="seeds 0..S-1 per scenario")
+    catalog_parser.set_defaults(func=cmd_check_catalog)
 
     list_parser = subparsers.add_parser(
         "list-scenarios", help="list the registered scenario catalog"
@@ -197,7 +272,7 @@ def build_players(args: argparse.Namespace) -> List[Player]:
 
 
 def run_scenario(args: argparse.Namespace) -> RunResult:
-    return scenario_from_args(args).run(seed=args.seed)
+    return scenario_from_args(args).run(seed=args.seed if args.seed is not None else 0)
 
 
 def scenario_report(result: RunResult, scenario: Scenario) -> str:
@@ -232,13 +307,46 @@ def report(result: RunResult, args: argparse.Namespace) -> str:
     return scenario_report(result, scenario_from_args(args))
 
 
+def _resolve_run_scenario(args: argparse.Namespace) -> tuple:
+    """Map the `run` positional to (scenario, seed): a legacy name, a
+    catalog entry, or a scenario/repro JSON file (whose embedded seed
+    is used unless an explicit --seed overrides it)."""
+    name = args.scenario
+    explicit_seed = getattr(args, "seed", None)
+    seed = 0 if explicit_seed is None else explicit_seed
+    if name.endswith(".json") or os.path.sep in name:
+        if not os.path.exists(name):
+            raise SystemExit(f"scenario file {name!r} does not exist")
+        from repro.experiments.fuzz import load_scenario_file
+
+        try:
+            scenario, embedded_seed, _ = load_scenario_file(name)
+        except (KeyError, TypeError, ValueError) as error:
+            # TypeError covers hand-edited files with wrong-typed
+            # field values (e.g. "crash_spec": 5).
+            raise SystemExit(f"{name}: {error}")
+        if explicit_seed is None and embedded_seed is not None:
+            seed = embedded_seed
+        return scenario, seed
+    if name in LEGACY_SCENARIOS:
+        return scenario_from_args(args), seed
+    try:
+        return get_scenario(name), seed
+    except KeyError as error:
+        raise SystemExit(str(error.args[0]))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.scenario in LEGACY_SCENARIOS:
-        scenario = scenario_from_args(args)
-    else:
-        scenario = get_scenario(args.scenario)
-    result = scenario.run(seed=args.seed)
+    scenario, seed = _resolve_run_scenario(args)
+    if getattr(args, "check", False) and not scenario.check_invariants:
+        scenario = scenario.with_params(check_invariants=True)
+    result = scenario.run(seed=seed)
     print(scenario_report(result, scenario))
+    if result.oracle is not None:
+        print()
+        print(result.oracle.render())
+        if not result.oracle.ok:
+            return 1
     return 0
 
 
@@ -275,6 +383,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         scenario = get_scenario(args.scenario)
     except KeyError as error:
         raise SystemExit(str(error.args[0]))
+    if getattr(args, "check", False) and not scenario.check_invariants:
+        scenario = scenario.with_params(check_invariants=True)
     grid = parse_grid(args.grid)
     if args.jobs < 1:
         raise SystemExit("jobs must be at least 1")
@@ -313,7 +423,104 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         write_csv(args.csv, sweep.records, include_timing=args.timings)
         print(f"wrote CSV to {args.csv}")
+    if getattr(args, "check", False):
+        violating = [r for r in sweep.records if r.invariant_violations]
+        if violating:
+            for record in violating:
+                point = ", ".join(f"{k}={v}" for k, v in record.params) or "-"
+                print(
+                    f"invariant violation: {record.scenario} [{point}] seed {record.seed}: "
+                    f"{', '.join(record.invariant_violations)}"
+                )
+            return 1
+        print(f"trace oracle: all {len(sweep.records)} runs clean")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.experiments.fuzz import run_fuzz, write_repro
+
+    if args.budget < 1:
+        raise SystemExit("budget must be at least 1")
+    if args.jobs < 1:
+        raise SystemExit("jobs must be at least 1")
+    if args.shrink_budget < 0:
+        raise SystemExit("shrink-budget must be non-negative")
+    if args.max_shrinks < 0:
+        raise SystemExit("max-shrinks must be non-negative")
+    fuzz = run_fuzz(
+        budget=args.budget,
+        fuzz_seed=args.seed,
+        profile=args.profile,
+        jobs=args.jobs,
+        inject_violation=args.inject_violation,
+        shrink_budget=args.shrink_budget,
+        max_shrinks=args.max_shrinks,
+    )
+    rows = [
+        [checker, totals["ok"], totals["violated"], totals["skipped"]]
+        for checker, totals in sorted(fuzz.checker_totals().items())
+    ]
+    print(render_table(
+        ["invariant", "ok", "violated", "skipped"],
+        rows,
+        title=(
+            f"fuzz seed={args.seed} profile={args.profile}: {args.budget} trials, "
+            f"{fuzz.violation_count} violating, wall {fuzz.wall_time:.1f}s"
+        ),
+    ))
+    if fuzz.shrunk:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for repro in fuzz.shrunk:
+            path = os.path.join(args.artifacts, f"{repro.original_name}.json")
+            write_repro(path, repro)
+            print(
+                f"shrunk {repro.original_name} -> {path} "
+                f"(violates {', '.join(repro.violations)}; replay: repro run {path})"
+            )
+    dropped = fuzz.violation_count - len(fuzz.shrunk)
+    if dropped > 0:
+        print(
+            f"{dropped} violating trial(s) not shrunk "
+            f"(--max-shrinks {args.max_shrinks}); their full records are in "
+            + (f"{args.out}" if args.out else "the report (pass --out to keep it)")
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(fuzz.to_json())
+            handle.write("\n")
+        print(f"wrote fuzz report to {args.out}")
+    return 2 if fuzz.violation_count else 0
+
+
+def cmd_check_catalog(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        raise SystemExit("seeds must be at least 1")
+    rows = []
+    failures = 0
+    for name, scenario in scenario_catalog().items():
+        checked = scenario.with_params(check_invariants=True)
+        violated: Dict[str, List[int]] = {}
+        skipped: set = set()
+        for seed in range(args.seeds):
+            report = checked.run(seed=seed).oracle
+            for verdict_name in report.violated_names:
+                violated.setdefault(verdict_name, []).append(seed)
+            skipped.update(v.name for v in report.verdicts if v.status == "skipped")
+        status = "PASS" if not violated else "VIOLATED"
+        failures += bool(violated)
+        rows.append([
+            name,
+            status,
+            ", ".join(f"{k}@{v}" for k, v in sorted(violated.items())) or "-",
+            ", ".join(sorted(skipped)) or "-",
+        ])
+    print(render_table(
+        ["scenario", "status", "violations", "inapplicable (envelope)"],
+        rows,
+        title=f"trace oracle over {len(rows)} catalog scenarios x {args.seeds} seed(s)",
+    ))
+    return 1 if failures else 0
 
 
 def cmd_list_scenarios(args: argparse.Namespace) -> int:
@@ -342,7 +549,7 @@ def cmd_list_scenarios(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    subcommands = ("run", "sweep", "list-scenarios")
+    subcommands = ("run", "sweep", "fuzz", "check-catalog", "list-scenarios")
     legacy = (
         argv
         and argv[0] not in subcommands

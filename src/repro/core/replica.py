@@ -53,6 +53,7 @@ from repro.core.messages import (
 from repro.core.pof import FraudDetector, FraudProof
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction
+from repro.ledger.validation import ADVERSARIAL_MARKER_PREFIX
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
 
 _FRAUD_PHASES = {Phase.PROPOSE.value, Phase.VOTE.value, Phase.COMMIT.value, Phase.REVEAL.value}
@@ -167,7 +168,7 @@ class PRFTReplica(BaseReplica):
         transactions = self.strategy.select_transactions(self, candidates)
         if conflict_marker:
             marker = Transaction(
-                tx_id=f"__fork-r{round_number}-p{self.player_id}",
+                tx_id=f"{ADVERSARIAL_MARKER_PREFIX}r{round_number}-p{self.player_id}",
                 payload="equivocation marker",
             )
             transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])

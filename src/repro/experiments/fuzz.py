@@ -1,0 +1,474 @@
+"""Deterministic scenario fuzzing with failure shrinking.
+
+The catalog curates 18 hand-picked points of an axis space whose
+product — protocol × committee size × rational/byzantine mix ×
+strategies × loss/duplication/reorder/crash/partition/GST — is far too
+large for spot checks.  The fuzzer *generates* scenarios from a seeded
+RNG, runs each under the trace oracle (:mod:`repro.checks`) and, when
+a run violates an invariant, **shrinks** the configuration to a
+minimal scenario that still reproduces the violation, emitted as a
+ready-to-register catalog-entry JSON (`repro run <file>` replays it).
+
+Everything is a pure function of ``(fuzz_seed, budget, profile)``:
+per-trial RNGs derive from ``(fuzz_seed, index)``, so trial *i* is the
+same scenario whatever the budget, worker count or platform — the same
+contract the sweep engine keeps, which is also why ``jobs=N`` returns
+byte-identical records to ``jobs=1``.
+
+Two generation profiles:
+
+- ``safe`` draws only configurations inside the oracle's safety
+  envelope (rosters within each protocol's tolerance, recovering
+  crashes, healing partitions, bounded loss), so any violation is a
+  genuine bug.  Attack-free trials sit inside the liveness envelope
+  too and get every checker; trials that draw an attack deliberately
+  exercise safety *under deviation*, where liveness is the attack's
+  own target and is skipped.  CI's fuzz-smoke runs this.
+- ``wild`` additionally draws over-threshold coalitions, asynchronous
+  delays, permanent crashes, out-of-window quorums and the forgeable
+  backend; conditional checkers skip where guarantees lapse while the
+  unconditional ones (no honest burn, burns need binding proofs,
+  conservation, integrity) must *still* hold.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.checks.oracle import FORK_RESILIENT_PROTOCOLS
+from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE
+from repro.experiments.registry import PROTOCOL_FACTORIES, Scenario
+from repro.experiments.results import RunRecord
+from repro.experiments.sweep import _pool_context
+from repro.protocols.base import ProtocolConfig
+
+PROFILES = ("safe", "wild")
+
+REPRO_FORMAT = "repro-scenario/v1"
+
+#: Generated-run budgets; small enough that a 200-trial fuzz finishes
+#: in tens of seconds, large enough to exercise retransmission paths.
+_MAX_TIME = 600.0
+_MAX_EVENTS = 150_000
+
+
+def _default_config(protocol: str, n: int) -> ProtocolConfig:
+    """The config Scenario.build_config derives for a default scenario:
+    roster and quorum bounds for generation come from here, so a change
+    to the t0 presets or Claim 1's window propagates automatically."""
+    if protocol == "prft":
+        return ProtocolConfig.for_prft(n=n)
+    return ProtocolConfig.for_bft(n=n)
+
+
+@dataclass(frozen=True)
+class FuzzTrial:
+    """One independently-generated (scenario, seed) unit of work."""
+
+    index: int
+    scenario: Scenario
+    seed: int
+
+
+def generate_trial(fuzz_seed: int, index: int, profile: str = "safe") -> FuzzTrial:
+    """The deterministic trial #``index`` of fuzz campaign ``fuzz_seed``.
+
+    A per-trial ``random.Random`` seeded from ``(fuzz_seed, index)``
+    draws every axis, so trials are independent of each other and of
+    the budget — trial 17 is the same scenario in a 20-trial smoke and
+    a 20 000-trial campaign.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown fuzz profile {profile!r}; choose from {PROFILES}")
+    rng = random.Random(f"repro-fuzz/{fuzz_seed}/{index}")
+    for _ in range(16):
+        fields = _draw_axes(rng, profile)
+        fields["name"] = f"fuzz-{fuzz_seed}-{index:04d}"
+        fields["check_invariants"] = True
+        fields["max_time"] = _MAX_TIME
+        fields["max_events"] = _MAX_EVENTS
+        try:
+            scenario = Scenario(**fields)
+        except ValueError:
+            # A rare invalid combination (e.g. wild-profile roster
+            # clash); redraw — still deterministic, the RNG advances.
+            continue
+        return FuzzTrial(index=index, scenario=scenario, seed=rng.randrange(1 << 16))
+    raise RuntimeError(f"could not draw a valid scenario for trial {index}")
+
+
+def _draw_axes(rng: random.Random, profile: str) -> Dict[str, Any]:
+    wild = profile == "wild"
+    protocol = rng.choice(sorted(PROTOCOL_FACTORIES))
+    n = rng.randint(4, 10)
+    config = _default_config(protocol, n)
+    t0 = config.t0
+    quorum_size = config.quorum_size
+    fields: Dict[str, Any] = {
+        "protocol": protocol,
+        "n": n,
+        "rounds": rng.randint(1, 3),
+        "block_size": rng.randint(2, 4),
+    }
+
+    # Roster and attack -------------------------------------------------
+    rational = byzantine = 0
+    attack: Optional[str] = None
+    if rng.random() < (0.6 if wild else 0.5):
+        if wild and rng.random() < 0.4:
+            byzantine = rng.randint(0, max(0, n // 2))
+            rational = rng.randint(0, max(0, n - byzantine - 1))
+        else:
+            byzantine = rng.randint(0, t0)
+            cap = (n - 1) // 2 if protocol in FORK_RESILIENT_PROTOCOLS else t0
+            rational = rng.randint(0, max(0, cap - byzantine))
+        if rational + byzantine > 0:
+            attack = rng.choice(("fork", "liveness", "censorship"))
+    fields["rational"] = rational
+    fields["byzantine"] = byzantine
+    fields["attack"] = attack
+    if attack == "censorship":
+        fields["censored_tx_ids"] = ("tx-0",)
+    if rational and rng.random() < 0.3:
+        fields["thetas"] = tuple(rng.randint(1, 3) for _ in range(rational))
+    elif rational:
+        fields["theta"] = rng.randint(1, 3)
+
+    # Synchrony ---------------------------------------------------------
+    delays = ["fixed", "synchronous", "partial"] + (["asynchronous"] if wild else [])
+    delay = rng.choice(delays)
+    timeout = round(rng.uniform(8.0, 15.0), 1)
+    fields["delay"] = delay
+    fields["delta"] = round(rng.uniform(0.5, min(2.0, timeout / 4)), 2)
+    fields["timeout"] = timeout
+    if delay == "partial":
+        fields["gst"] = float(rng.choice((10, 20, 30)))
+
+    # Link faults -------------------------------------------------------
+    if rng.random() < 0.4:
+        ceiling = 0.4 if wild else 0.15
+        fields["loss_rate"] = round(rng.uniform(0.02, ceiling), 3)
+    if rng.random() < 0.3:
+        fields["duplicate_rate"] = round(rng.uniform(0.05, 0.3), 3)
+    if rng.random() < 0.3:
+        fields["reorder_jitter"] = round(rng.uniform(0.1, 0.5), 2)
+
+    # Crash/recovery ----------------------------------------------------
+    # The safe profile never stacks crash/partition disruption on top
+    # of partial synchrony: pre-GST adversarial delays are already a
+    # round-abort source, and the combination (while legal) explodes
+    # retransmission traffic without adding envelope-safe coverage.
+    disruption_ok = wild or delay != "partial"
+    slack = n - quorum_size
+    if disruption_ok and rng.random() < 0.25 and (slack >= 1 or wild):
+        replica = rng.randrange(n)
+        start = round(rng.uniform(1.0, 20.0), 1)
+        if wild and rng.random() < 0.3:
+            fields["crash_spec"] = ((replica, start),)  # permanent
+        else:
+            end = round(start + rng.uniform(5.0, 40.0), 1)
+            fields["crash_spec"] = ((replica, start, end),)
+
+    # Partitions --------------------------------------------------------
+    if disruption_ok and rng.random() < 0.2:
+        start = round(rng.uniform(0.0, 10.0), 1)
+        end = round(start + rng.uniform(5.0, 30.0), 1)
+        half = n // 2
+        fields["partition_windows"] = ((start, end),)
+        fields["partition_groups"] = (tuple(range(half)), tuple(range(half, n)))
+
+    # Quorum and crypto -------------------------------------------------
+    if rng.random() < 0.15:
+        window = config.admissible_quorum_window
+        if wild and rng.random() < 0.5:
+            fields["quorum"] = rng.randint(1, n)
+        elif len(window) > 0:
+            fields["quorum"] = rng.choice(list(window))
+    if rng.random() < 0.1:
+        fields["crypto_cache_size"] = 0
+    if wild and attack != "fork" and rng.random() < 0.15:
+        fields["crypto_backend"] = "fast-sim"
+    return fields
+
+
+def injected_violation_trial(fuzz_seed: int) -> FuzzTrial:
+    """A trial that *must* violate the accountability invariant.
+
+    A fork collusion over the forgeable ``fast-sim`` backend: the
+    deviators are caught and burned, but no binding Proof-of-Fraud can
+    exist, so "collateral burn exactly for provable fraud" breaks by
+    construction.  Used by ``repro fuzz --inject-violation`` and the
+    tests to prove the oracle→shrinker pipeline end to end.
+    """
+    scenario = Scenario(
+        name=f"fuzz-{fuzz_seed}-injected",
+        n=9, rounds=3, rational=2, byzantine=1, attack="fork",
+        loss_rate=0.05, timeout=10.0,
+        crypto_backend="fast-sim", allow_unsound_crypto=True,
+        check_invariants=True, max_time=_MAX_TIME, max_events=_MAX_EVENTS,
+    )
+    return FuzzTrial(index=-1, scenario=scenario, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_trial(trial: FuzzTrial) -> RunRecord:
+    """Execute one trial oracle-checked (worker entry point)."""
+    start = time.perf_counter()
+    result = trial.scenario.run(seed=trial.seed)
+    elapsed = time.perf_counter() - start
+    return RunRecord.from_result(
+        trial.scenario, seed=trial.seed, result=result, wall_time=elapsed
+    )
+
+
+@dataclass(frozen=True)
+class ShrunkRepro:
+    """A minimal reproducing configuration for one violation."""
+
+    scenario: Scenario
+    seed: int
+    violations: Tuple[str, ...]
+    shrink_runs: int
+    original_name: str
+
+    def entry(self) -> Dict[str, Any]:
+        """The ready-to-register catalog-entry JSON payload."""
+        return {
+            "format": REPRO_FORMAT,
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "violations": list(self.violations),
+            "shrunk_from": self.original_name,
+            "shrink_runs": self.shrink_runs,
+        }
+
+
+@dataclass
+class FuzzResult:
+    """Everything one fuzz campaign produced."""
+
+    fuzz_seed: int
+    budget: int
+    profile: str
+    trials: List[FuzzTrial]
+    records: List[RunRecord]
+    shrunk: List[ShrunkRepro] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def violating(self) -> List[Tuple[FuzzTrial, RunRecord]]:
+        return [
+            (trial, record)
+            for trial, record in zip(self.trials, self.records)
+            if record.invariant_violations
+        ]
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violating)
+
+    def checker_totals(self) -> Dict[str, Dict[str, int]]:
+        """checker → {ok/violated/skipped: count} across all trials."""
+        totals: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            for checker, status in record.invariants or ():
+                slot = totals.setdefault(checker, {"ok": 0, "violated": 0, "skipped": 0})
+                slot[status] = slot.get(status, 0) + 1
+        return totals
+
+    def to_json(self, include_timing: bool = False) -> str:
+        payload = {
+            "fuzz_seed": self.fuzz_seed,
+            "budget": self.budget,
+            "profile": self.profile,
+            "violations": self.violation_count,
+            "checker_totals": self.checker_totals(),
+            "records": [r.to_dict(include_timing=include_timing) for r in self.records],
+            "shrunk": [repro.entry() for repro in self.shrunk],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_fuzz(
+    budget: int,
+    fuzz_seed: int = 0,
+    profile: str = "safe",
+    jobs: int = 1,
+    inject_violation: bool = False,
+    shrink_budget: int = 64,
+    max_shrinks: int = 5,
+) -> FuzzResult:
+    """Run a fuzz campaign: generate, execute, oracle-check, shrink.
+
+    Deterministic for ``(budget, fuzz_seed, profile, inject_violation)``
+    whatever ``jobs`` is.  The first ``max_shrinks`` violating trials
+    are shrunk (each shrink re-runs the scenario up to
+    ``shrink_budget`` times).
+    """
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if max_shrinks < 0 or shrink_budget < 0:
+        raise ValueError("max_shrinks and shrink_budget must be non-negative")
+    started = time.perf_counter()
+    trials = [generate_trial(fuzz_seed, index, profile) for index in range(budget)]
+    if inject_violation:
+        trials[0] = injected_violation_trial(fuzz_seed)
+    if jobs == 1 or len(trials) <= 1:
+        records = [run_trial(trial) for trial in trials]
+    else:
+        with _pool_context().Pool(processes=min(jobs, len(trials))) as pool:
+            records = pool.map(run_trial, trials, 1)
+    result = FuzzResult(
+        fuzz_seed=fuzz_seed, budget=budget, profile=profile,
+        trials=trials, records=records,
+    )
+    for trial, record in result.violating[:max_shrinks]:
+        result.shrunk.append(shrink(
+            trial.scenario, trial.seed,
+            target=record.invariant_violations, budget=shrink_budget,
+        ))
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def violated_checkers(scenario: Scenario, seed: int) -> Tuple[str, ...]:
+    """Run once and return the sorted violated checker names."""
+    checked = scenario if scenario.check_invariants else scenario.with_params(check_invariants=True)
+    result = checked.run(seed=seed)
+    return tuple(sorted(result.oracle.violated_names))
+
+
+def _shrink_candidates(scenario: Scenario) -> List[Dict[str, Any]]:
+    """Ordered simplification moves: axes to defaults first (cheapest
+    to reason about in a repro), then structural size reductions."""
+    moves: List[Dict[str, Any]] = []
+    if scenario.loss_rate:
+        moves.append({"loss_rate": 0.0})
+    if scenario.duplicate_rate:
+        moves.append({"duplicate_rate": 0.0})
+    if scenario.reorder_jitter:
+        moves.append({"reorder_jitter": 0.0})
+    if scenario.crash_spec:
+        moves.append({"crash_spec": ()})
+    if scenario.partition_windows:
+        moves.append({"partition_windows": (), "partition_groups": ()})
+    if scenario.delay != "fixed":
+        moves.append({"delay": "fixed", "gst": 0.0})
+    if scenario.quorum is not None:
+        moves.append({"quorum": None})
+    if scenario.crypto_cache_size != DEFAULT_VERIFY_CACHE_SIZE:
+        moves.append({"crypto_cache_size": DEFAULT_VERIFY_CACHE_SIZE})
+    if scenario.thetas:
+        moves.append({"thetas": ()})
+    if scenario.tx_count is not None:
+        moves.append({"tx_count": None})
+    if scenario.rounds > 1:
+        moves.append({"rounds": max(1, scenario.rounds // 2)})
+        moves.append({"rounds": scenario.rounds - 1})
+    if scenario.n > 4:
+        moves.append({"n": scenario.n - 1})
+    if scenario.byzantine > 0 and scenario.rational + scenario.byzantine > 1:
+        moves.append({"byzantine": scenario.byzantine - 1})
+    if scenario.rational > 0 and scenario.rational + scenario.byzantine > 1:
+        moves.append({"rational": scenario.rational - 1})
+    if not scenario.attack:
+        if scenario.rational:
+            moves.append({"rational": 0, "thetas": ()})
+        if scenario.byzantine:
+            moves.append({"byzantine": 0})
+    if scenario.max_time > 200.0:
+        moves.append({"max_time": max(200.0, scenario.max_time / 2)})
+    return moves
+
+
+def shrink(
+    scenario: Scenario,
+    seed: int,
+    target: Sequence[str],
+    budget: int = 64,
+) -> ShrunkRepro:
+    """Greedy deterministic shrinking toward a minimal reproduction.
+
+    A candidate simplification is accepted when the re-run still
+    violates at least one checker from ``target`` (the expectation
+    envelope can change as axes drop — e.g. removing loss makes the
+    liveness checker applicable — so exact-set matching would refuse
+    perfectly good shrinks).  The scenario's *name* is part of the run
+    seed and is therefore never shrunk.
+    """
+    target_set = set(target)
+    if not target_set:
+        raise ValueError("cannot shrink a non-violating scenario")
+    current = scenario if scenario.check_invariants else scenario.with_params(check_invariants=True)
+    current_violations = tuple(sorted(target_set))
+    runs = 0
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        for move in _shrink_candidates(current):
+            if runs >= budget:
+                break
+            try:
+                candidate = current.with_params(**move)
+            except (KeyError, ValueError):
+                continue
+            try:
+                violations = violated_checkers(candidate, seed)
+            except ValueError:
+                continue
+            runs += 1
+            if target_set & set(violations):
+                current = candidate
+                current_violations = violations
+                changed = True
+                break
+    return ShrunkRepro(
+        scenario=current,
+        seed=seed,
+        violations=current_violations,
+        shrink_runs=runs,
+        original_name=scenario.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Repro-file i/o (the artifact `repro run <file>` replays)
+# ----------------------------------------------------------------------
+def write_repro(path: str, repro: ShrunkRepro) -> None:
+    with open(path, "w") as handle:
+        json.dump(repro.entry(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_scenario_file(path: str) -> Tuple[Scenario, Optional[int], Tuple[str, ...]]:
+    """Load a scenario JSON: either a bare ``Scenario.to_dict`` payload
+    or a fuzzer repro entry (``{"scenario": ..., "seed": ...}``).
+
+    Returns (scenario, embedded seed or None, recorded violations).
+    A repro entry that records violations comes back with
+    ``check_invariants`` forced on, so one ``repro run file.json``
+    replays the violation verdict with no extra flags.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "scenario" in payload:
+        scenario = Scenario.from_dict(payload["scenario"])
+        seed = payload.get("seed")
+        violations = tuple(payload.get("violations", ()))
+        if violations and not scenario.check_invariants:
+            scenario = scenario.with_params(check_invariants=True)
+        return scenario, (int(seed) if seed is not None else None), violations
+    return Scenario.from_dict(payload), None, ()

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.agents.collusion import Collusion, assign_strategies
+from repro.checks import run_oracle
 from repro.agents.player import (
     Player,
     byzantine_player,
@@ -110,6 +111,15 @@ class Scenario:
     the deployment's verified-signature cache; 0 disables caching and
     restores the re-verify-everything reference path.  Both are sweep
     axes like any other field.
+
+    Oracle: ``check_invariants`` runs the trace oracle
+    (:mod:`repro.checks`) post-hoc over every execution of this
+    scenario — ``Scenario.run`` attaches the report to the result, and
+    sweep workers flatten the verdicts into their ``RunRecord`` rows.
+    It is a sweep axis like any other field.  ``allow_unsound_crypto``
+    lifts the fork/forgeable-backend refusal; it exists so the fuzzer
+    (and tests) can deliberately build runs that *violate* the
+    accountability invariant — never set it in real experiments.
     """
 
     name: str
@@ -146,6 +156,8 @@ class Scenario:
     max_events: int = 2_000_000
     crypto_backend: str = DEFAULT_BACKEND
     crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
+    check_invariants: bool = False
+    allow_unsound_crypto: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_FACTORIES:
@@ -159,7 +171,11 @@ class Scenario:
                 f"unknown crypto backend {self.crypto_backend!r}; "
                 f"choose from {backend_names()}"
             )
-        if self.attack == "fork" and not get_backend(self.crypto_backend).unforgeable:
+        if (
+            self.attack == "fork"
+            and not get_backend(self.crypto_backend).unforgeable
+            and not self.allow_unsound_crypto
+        ):
             raise ValueError(
                 f"scenario {self.name!r} exercises accountability (fork attacks are "
                 f"deterred by Proofs-of-Fraud), which needs an unforgeable backend; "
@@ -189,6 +205,16 @@ class Scenario:
             raise ValueError("duplicate_rate must lie in [0, 1]")
         if self.reorder_jitter < 0:
             raise ValueError("reorder_jitter must be non-negative")
+        if self.partition_windows:
+            object.__setattr__(
+                self, "partition_windows",
+                tuple(tuple(window) for window in self.partition_windows),
+            )
+        if self.partition_groups:
+            object.__setattr__(
+                self, "partition_groups",
+                tuple(tuple(group) for group in self.partition_groups),
+            )
         if self.crash_spec:
             # Normalise nested sequences (sweep grids hand us lists) to
             # tuples so the scenario stays hashable/picklable, then let
@@ -304,14 +330,20 @@ class Scenario:
     # Execution and sweeping
     # ------------------------------------------------------------------
     def run(self, seed: int = 0) -> RunResult:
-        """Run this scenario once, deterministically for the seed."""
+        """Run this scenario once, deterministically for the seed.
+
+        With ``check_invariants`` set, the trace oracle runs post-hoc
+        over the finished execution and its report is attached as
+        ``result.oracle`` (violations are *reported*, never raised —
+        the fuzzer and CI decide what a violation means).
+        """
         players = self.build_players()
         transactions = None
         if self.tx_count is not None:
             from repro.protocols.runner import make_transactions
 
             transactions = make_transactions(self.tx_count)
-        return run_consensus(
+        result = run_consensus(
             PROTOCOL_FACTORIES[self.protocol],
             players,
             self.build_config(),
@@ -328,6 +360,9 @@ class Scenario:
             reorder_jitter=self.reorder_jitter,
             crash_schedule=self.build_crash_schedule(),
         )
+        if self.check_invariants:
+            result.oracle = run_oracle(result, scenario=self, seed=seed)
+        return result
 
     def with_params(self, **overrides: Any) -> "Scenario":
         """A copy with the named fields replaced (sweep-axis hook)."""
@@ -342,6 +377,44 @@ class Scenario:
             for key, value in overrides.items()
         }
         return dataclasses.replace(self, **coerced)
+
+    # ------------------------------------------------------------------
+    # JSON projection (fuzzer repro artifacts, catalog-entry exchange)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_defaults: bool = False) -> Dict[str, Any]:
+        """A plain-JSON projection; non-default fields only by default,
+        so emitted entries read like the catalog's own definitions."""
+        data: Dict[str, Any] = {}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if not include_defaults and spec.name != "name" and value == spec.default:
+                continue
+            data[spec.name] = _jsonable(value)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (lists are
+        coerced back to the tuples the frozen dataclass carries)."""
+        valid = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise KeyError(
+                f"unknown scenario field(s) {sorted(unknown)}; valid: {sorted(valid)}"
+            )
+        return cls(**{key: _tupleize(value) for key, value in data.items()})
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _tupleize(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_tupleize(item) for item in value)
+    return value
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,14 @@ class RunRecord:
     total_bytes: int
     events: int
     wall_time: float = 0.0
+    # Trace-oracle projection: (checker, status) pairs and the violated
+    # checker names, populated only when the scenario set
+    # check_invariants.  None (vs empty tuple) distinguishes "oracle
+    # never ran" from "ran and found nothing"; serialisers omit the
+    # fields entirely when the oracle never ran, so pre-oracle records
+    # (and the golden byte-identity gates) are unchanged.
+    invariants: Optional[Tuple[Tuple[str, str], ...]] = None
+    invariant_violations: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,6 +74,18 @@ class RunRecord:
         """Flatten a finished run (see :class:`Scenario` for inputs)."""
         censored = list(scenario.censored_tx_ids) or None
         verdict = check_robustness(result, censored_tx_ids=censored)
+        invariants: Optional[Tuple[Tuple[str, str], ...]] = None
+        invariant_violations: Tuple[str, ...] = ()
+        if getattr(scenario, "check_invariants", False):
+            report = result.oracle
+            if report is None:
+                from repro.checks import run_oracle
+
+                report = run_oracle(result, scenario=scenario, seed=seed)
+            # Stored sorted by checker name so records round-trip
+            # exactly through the sort_keys=True JSON writer.
+            invariants = tuple(sorted(report.as_items()))
+            invariant_violations = tuple(sorted(report.violated_names))
         utilities = tuple(
             (player.player_id,
              result.realised_utility(player.player_id, player.theta, censored_tx_ids=censored))
@@ -92,6 +112,8 @@ class RunRecord:
             total_bytes=result.metrics.total_bytes,
             events=result.ctx.engine.events_processed,
             wall_time=wall_time,
+            invariants=invariants,
+            invariant_violations=invariant_violations,
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +127,14 @@ class RunRecord:
         data["params"] = self.param_dict()
         data["penalised"] = list(self.penalised)
         data["utilities"] = {str(pid): value for pid, value in self.utilities}
+        if self.invariants is None:
+            # The oracle never ran: omit the fields so pre-oracle
+            # output (and the golden byte-identity gates) is unchanged.
+            del data["invariants"]
+            del data["invariant_violations"]
+        else:
+            data["invariants"] = dict(self.invariants)
+            data["invariant_violations"] = list(self.invariant_violations)
         if not include_timing:
             del data["wall_time"]
         return data
@@ -118,6 +148,11 @@ class RunRecord:
         kwargs["utilities"] = tuple(
             sorted((int(pid), value) for pid, value in dict(data.get("utilities", {})).items())
         )
+        if "invariants" in data and data["invariants"] is not None:
+            kwargs["invariants"] = tuple(sorted(dict(data["invariants"]).items()))
+        else:
+            kwargs["invariants"] = None
+        kwargs["invariant_violations"] = tuple(data.get("invariant_violations", ()))
         kwargs.setdefault("wall_time", 0.0)
         return cls(**kwargs)
 
@@ -172,9 +207,17 @@ _CSV_FIELDS = (
 
 
 def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = False) -> None:
-    """Write records as a flat CSV, one ``param:<axis>`` column per axis."""
+    """Write records as a flat CSV, one ``param:<axis>`` column per axis.
+
+    Oracle columns (per-checker statuses and the violated names) appear
+    only when the oracle ran for some record, so oracle-free sweeps
+    keep their historical column set byte for byte.
+    """
     axes = sorted({key for record in records for key, _ in record.params})
+    with_oracle = any(record.invariants is not None for record in records)
     headers = list(_CSV_FIELDS) + [f"param:{axis}" for axis in axes]
+    if with_oracle:
+        headers += ["invariants", "invariant_violations"]
     if include_timing:
         headers.append("wall_time")
     with open(path, "w", newline="") as handle:
@@ -185,6 +228,11 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
             row: List[Any] = [getattr(record, name) for name in _CSV_FIELDS]
             row[_CSV_FIELDS.index("penalised")] = " ".join(map(str, record.penalised))
             row.extend(params.get(axis, "") for axis in axes)
+            if with_oracle:
+                row.append(
+                    ";".join(f"{name}={status}" for name, status in record.invariants or ())
+                )
+                row.append(" ".join(record.invariant_violations))
             if include_timing:
                 row.append(record.wall_time)
             writer.writerow(row)
@@ -233,7 +281,7 @@ def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
         for record in group:
             states[record.state] = states.get(record.state, 0) + 1
         all_utilities = [value for record in group for _, value in record.utilities]
-        summaries.append({
+        summary = {
             "params": dict(params),
             "runs": len(group),
             "robust_fraction": mean([1.0 if r.robust else 0.0 for r in group]),
@@ -242,5 +290,12 @@ def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
             "mean_messages": mean([float(r.total_messages) for r in group]),
             "mean_bytes": mean([float(r.total_bytes) for r in group]),
             "mean_rational_utility": mean(all_utilities) if all_utilities else None,
-        })
+        }
+        if any(record.invariants is not None for record in group):
+            # Only present when the oracle ran somewhere in the group,
+            # so oracle-free sweeps keep their historical output bytes.
+            summary["invariant_violation_runs"] = sum(
+                1 for record in group if record.invariant_violations
+            )
+        summaries.append(summary)
     return summaries

@@ -17,6 +17,20 @@ from repro.ledger.block import Block
 from repro.ledger.chain import Chain
 
 
+#: Prefix equivocating strategies stamp on their synthetic fork-marker
+#: transactions.  The one place the literal lives: both the robustness
+#: checker and the trace oracle judge validity through the predicate
+#: below, so the two layers can never disagree about what counts as
+#: client-submitted content.
+ADVERSARIAL_MARKER_PREFIX = "__fork-"
+
+
+def is_adversarial_marker(tx_id: str) -> bool:
+    """True for synthetic transactions minted by equivocating proposers
+    (legitimate *proposed* content, exempt from provenance checks)."""
+    return tx_id.startswith(ADVERSARIAL_MARKER_PREFIX)
+
+
 def _is_prefix(shorter: Sequence[Block], longer: Sequence[Block]) -> bool:
     if len(shorter) > len(longer):
         return False

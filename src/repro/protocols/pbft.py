@@ -22,6 +22,7 @@ from repro.core.messages import (
     verify_statement,
 )
 from repro.ledger.block import Block
+from repro.ledger.validation import ADVERSARIAL_MARKER_PREFIX
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
 
 PREPREPARE = "pbft-preprepare"
@@ -166,7 +167,7 @@ class PBFTReplica(BaseReplica):
         if conflict_marker:
             from repro.ledger.transaction import Transaction
 
-            marker = Transaction(tx_id=f"__fork-r{round_number}-p{self.player_id}")
+            marker = Transaction(tx_id=f"{ADVERSARIAL_MARKER_PREFIX}r{round_number}-p{self.player_id}")
             transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])
         return Block(
             round_number=round_number,
@@ -317,6 +318,12 @@ class PBFTReplica(BaseReplica):
             return
         if state.finalized and state.decided_digest is not None:
             digest = state.decided_digest
+            if digest not in state.committed_digests:
+                # We finalized on a quorum of *others'* commits without
+                # signing this digest ourselves; rebuilding a commit
+                # would sign a value we never signed — an honest
+                # double-sign.  Let replicas that did commit it serve.
+                return
             block = state.blocks.get(digest)
             if block is None:
                 return

@@ -24,6 +24,7 @@ from repro.core.messages import (
 )
 from repro.core.pof import FraudDetector, FraudProof
 from repro.ledger.block import Block
+from repro.ledger.validation import ADVERSARIAL_MARKER_PREFIX
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
 
 PG_PROPOSE = "pg-propose"
@@ -216,7 +217,7 @@ class PolygraphReplica(BaseReplica):
         def alternative() -> PgPropose:
             from repro.ledger.transaction import Transaction
 
-            marker = Transaction(tx_id=f"__fork-r{round_number}-p{self.player_id}")
+            marker = Transaction(tx_id=f"{ADVERSARIAL_MARKER_PREFIX}r{round_number}-p{self.player_id}")
             alt_block = Block(
                 round_number=round_number,
                 proposer=self.player_id,
@@ -387,6 +388,15 @@ class PolygraphReplica(BaseReplica):
             return
         if state.finalized and state.decided_digest is not None:
             digest = state.decided_digest
+            if digest not in state.committed_digests:
+                # We finalized on a quorum of *others'* commits without
+                # ever signing this digest ourselves (our own commit
+                # went to a competing proposal).  Rebuilding a commit
+                # here would sign a value we never signed — an honest
+                # double-sign that a fraud detector would rightly burn.
+                # The laggard must assemble its quorum from replicas
+                # that did commit the decided digest.
+                return
             block = state.blocks.get(digest)
             prepares = state.prepares.get(digest, {})
             if block is None or len(prepares) < self.config.quorum_size:

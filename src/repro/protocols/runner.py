@@ -95,6 +95,9 @@ class RunResult:
     replicas: Dict[int, BaseReplica]
     ctx: ProtocolContext
     submitted_tx_ids: List[str]
+    # Attached post-hoc by Scenario.run when check_invariants is set
+    # (an OracleReport; typed Any to keep the checks layer above us).
+    oracle: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Views by role
