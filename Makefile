@@ -6,7 +6,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network example clean
+.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput example clean
 
 check: test smoke catalog-check
 	@echo "check: OK"
@@ -57,6 +57,13 @@ bench-scaling:
 # Appends to BENCH_network.json.
 bench-network:
 	$(PYTHON) -m pytest benchmarks/bench_faulty_links.py --benchmark-only -s
+
+# Continuous-workload throughput on the RunSpec API (E17): replay and
+# serial-vs-parallel determinism, open-loop saturation, closed-loop
+# service rate per protocol, crash churn.  Appends to
+# BENCH_throughput.json.
+bench-throughput:
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py --benchmark-only -s
 
 example:
 	$(PYTHON) examples/sweep_quickstart.py

@@ -1,0 +1,167 @@
+"""E17 — continuous-workload throughput on the RunSpec/Deployment API.
+
+The paper's claims are stated over *ongoing* consensus; this harness
+measures the deployment the way pBFT (OSDI '99) and HotStuff
+(PODC '19) are evaluated — blocks/sec and commit latency under
+sustained client load — and records the trajectory in
+``BENCH_throughput.json``:
+
+- **determinism gate** — a poisson-honest run replays byte-identically
+  for (scenario, seed), and a workload-axis sweep is byte-identical
+  between serial and parallel execution;
+- **open-loop saturation** — sweeping the Poisson arrival rate across
+  the committee's service rate: below the knee the backlog stays flat
+  and p99 latency is a few slot times; past it the backlog grows with
+  the arrival process (the open-loop overload signature);
+- **closed-loop service rate** — blocks/sec with a fixed in-flight
+  window, per protocol (pRFT vs pBFT vs HotStuff): backlog is bounded
+  by the window, so this isolates slot turnover time;
+- **throughput under faults** — the poisson-crash-churn catalog
+  scenario: a mid-run crash/recovery must not break agreement and the
+  recovered replica must converge (the batch catch-up path).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks durations and the rate
+grid; the identity/agreement assertions are correctness gates and hold
+in smoke mode too.
+"""
+
+import json
+import time
+from typing import Dict
+
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.experiments import get_scenario, run_sweep
+from repro.experiments.results import RunRecord, records_to_json
+
+from benchmarks.bench_results import record_bench
+from benchmarks.helpers import smoke_mode, once
+
+DURATION = 60.0 if smoke_mode() else 150.0
+RATES = (0.25, 0.75) if smoke_mode() else (0.25, 0.5, 1.0, 2.0)
+CLOSED_PROTOCOLS = ("prft", "pbft", "hotstuff")
+
+
+def _canonical(scenario, seed=0):
+    result = scenario.run(seed=seed)
+    record = RunRecord.from_result(scenario, seed=seed, result=result)
+    return json.dumps(record.canonical(), sort_keys=True), result
+
+
+def _experiment():
+    started = time.perf_counter()
+    measurements: Dict[str, object] = {}
+
+    # 1. Determinism: replay identity and serial == parallel sweeps.
+    base = get_scenario("poisson-honest").with_params(duration=DURATION)
+    first, _ = _canonical(base)
+    second, _ = _canonical(base)
+    grid = {"arrival_rate": list(RATES)}
+    serial = run_sweep(base, grid=grid, seeds=2, jobs=1)
+    parallel = run_sweep(base, grid=grid, seeds=2, jobs=2)
+    measurements["determinism"] = {
+        "replay_identical": first == second,
+        "serial_parallel_identical": records_to_json(serial.records, meta=serial.meta())
+        == records_to_json(parallel.records, meta=parallel.meta()),
+    }
+
+    # 2. Open-loop saturation sweep (records reused from the serial sweep).
+    saturation = []
+    for record in serial.records:
+        if record.seed != 0:
+            continue
+        throughput = dict(record.throughput)
+        saturation.append({
+            "rate": record.param_dict()["arrival_rate"],
+            "blocks_per_sec": round(throughput["blocks_per_sec"], 4),
+            "latency_p99": round(throughput["latency_p99"], 2),
+            "peak_backlog": throughput["peak_backlog"],
+            "committed": throughput["committed"],
+            "submitted": throughput["submitted"],
+        })
+    measurements["open_loop"] = saturation
+
+    # 3. Closed-loop service rate per protocol.
+    closed = {}
+    for protocol in CLOSED_PROTOCOLS:
+        scenario = get_scenario("closed-loop-prft").with_params(
+            protocol=protocol, tolerance="bft", duration=DURATION
+        )
+        result = scenario.run(seed=0)
+        throughput = result.throughput
+        verdict = check_robustness(result)
+        closed[protocol] = {
+            "blocks_per_sec": round(throughput.blocks_per_sec, 4),
+            "latency_mean": round(throughput.latency_mean, 2),
+            "peak_backlog": throughput.peak_backlog,
+            "robust": verdict.robust,
+        }
+    measurements["closed_loop"] = closed
+
+    # 4. Throughput under crash churn.
+    churn_result = get_scenario("poisson-crash-churn").run(seed=0)
+    churn_verdict = check_robustness(churn_result)
+    churn_tp = churn_result.throughput
+    measurements["crash_churn"] = {
+        "blocks_per_sec": round(churn_tp.blocks_per_sec, 4),
+        "committed": churn_tp.committed,
+        "submitted": churn_tp.submitted,
+        "agreement": churn_verdict.agreement,
+        "eventual_liveness": churn_verdict.eventual_liveness,
+    }
+
+    measurements["wall_seconds"] = round(time.perf_counter() - started, 3)
+    return measurements
+
+
+def test_throughput(benchmark):
+    measured = once(benchmark, _experiment)
+
+    rows = [
+        ["replay byte-identical", measured["determinism"]["replay_identical"]],
+        ["serial == parallel sweep", measured["determinism"]["serial_parallel_identical"]],
+    ]
+    for point in measured["open_loop"]:
+        rows.append([
+            f"poisson rate={point['rate']}",
+            f"bps={point['blocks_per_sec']} p99={point['latency_p99']} "
+            f"backlog={point['peak_backlog']}",
+        ])
+    for protocol, info in measured["closed_loop"].items():
+        rows.append([
+            f"closed-loop {protocol}",
+            f"bps={info['blocks_per_sec']} mean-lat={info['latency_mean']} "
+            f"robust={info['robust']}",
+        ])
+    rows.append([
+        "poisson + crash churn",
+        f"bps={measured['crash_churn']['blocks_per_sec']} "
+        f"agree={measured['crash_churn']['agreement']}",
+    ])
+    rows.append(["wall time (s)", measured["wall_seconds"]])
+    print()
+    print(render_table(["quantity", "value"], rows, title="E17: throughput"))
+
+    path = record_bench("throughput", measured)
+    print(f"trajectory appended to {path}")
+
+    # Correctness gates (hold in smoke mode too — nothing here is timed).
+    assert measured["determinism"]["replay_identical"], (
+        "a continuous-workload run must replay byte-identically for (scenario, seed)"
+    )
+    assert measured["determinism"]["serial_parallel_identical"], (
+        "workload-axis sweeps must be byte-identical whatever --jobs is"
+    )
+    rates = [point["blocks_per_sec"] for point in measured["open_loop"]]
+    assert all(rate > 0 for rate in rates), "open-loop runs must commit blocks"
+    backlogs = [point["peak_backlog"] for point in measured["open_loop"]]
+    assert backlogs[-1] >= backlogs[0], (
+        "peak backlog must not shrink as the arrival rate grows past saturation"
+    )
+    for protocol, info in measured["closed_loop"].items():
+        assert info["robust"], f"closed-loop {protocol} broke robustness"
+        assert info["blocks_per_sec"] > 0, f"closed-loop {protocol} never committed"
+    assert measured["crash_churn"]["agreement"], "crash churn broke agreement"
+    assert measured["crash_churn"]["eventual_liveness"], (
+        "the recovered replica did not converge (batch catch-up regression)"
+    )

@@ -201,6 +201,15 @@ class LivenessChecker(InvariantChecker):
         verdict = check_robustness(ctx.result, censored_tx_ids=ctx.censored_tx_ids)
         violations: List[Violation] = []
         progress_expected = self._progress_expected(ctx.scenario)
+        if (
+            getattr(ctx.scenario, "duration", None) is not None
+            and not ctx.result.submitted_tx_ids
+        ):
+            # A continuous run whose arrival process produced nothing
+            # (e.g. a Poisson draw whose first gap exceeds the
+            # duration) quiesces at round 0 by design: zero blocks is
+            # the correct outcome, not a liveness failure.
+            progress_expected = False
         if not verdict.progressed and progress_expected:
             violations.append(_violation(self.name, "no block was ever finalised"))
         if not verdict.eventual_liveness:

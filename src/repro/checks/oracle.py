@@ -142,15 +142,36 @@ def derive_expectations(result: RunResult, scenario: Optional[Any]) -> Expectati
         max_time = float(effective())
     else:
         max_time = float(getattr(scenario, "max_time", 0.0) or 0.0)
+    # Continuous-workload runs stop opening slots at `duration`: a
+    # disruption must clear with headroom inside *that* window for the
+    # run to be expected live at cut-off, so the headroom gates below
+    # are judged against the duration, not the engine bound — clamped
+    # to the engine bound, which cuts the run first if it is smaller
+    # (Scenario validates duration <= max_time, but the oracle also
+    # serves hand-rolled scenario objects).
+    duration = getattr(scenario, "duration", None)
+    horizon = min(float(duration), max_time) if duration is not None else max_time
     if getattr(scenario, "attack", None) is not None:
         liveness = False
         reasons.append("an attack is configured: liveness is the attack's target")
     if getattr(scenario, "delay", "fixed") == "asynchronous":
         liveness = False
         reasons.append("asynchronous delays are unbounded: no liveness deadline exists")
-    # No GST gate is needed: partial-synchrony runs extend their budget
-    # to max_time + 5*gst (effective_max_time above), so the run always
-    # has post-GST headroom whatever gst is configured.
+    # Fixed-slot runs need no GST gate: partial-synchrony scenarios
+    # extend their budget to max_time + 5*gst (effective_max_time
+    # above), so the run always has post-GST headroom.  Duration-driven
+    # runs do NOT extend — replicas stop opening slots at `duration`
+    # regardless of the engine bound — so GST must leave a stabilised
+    # window inside the duration itself.
+    if (
+        duration is not None
+        and getattr(scenario, "delay", "fixed") == "partial"
+        and float(getattr(scenario, "gst", 0.0)) > horizon * PARTITION_HEAL_HEADROOM
+    ):
+        liveness = False
+        reasons.append(
+            "GST leaves no post-stabilisation headroom before the duration cut-off"
+        )
     if float(getattr(scenario, "loss_rate", 0.0)) > MAX_EXPECTED_LOSS_RATE:
         liveness = False
         reasons.append(f"loss rate above {MAX_EXPECTED_LOSS_RATE}: retransmission may not converge in budget")
@@ -160,14 +181,14 @@ def derive_expectations(result: RunResult, scenario: Optional[Any]) -> Expectati
     windows = _crash_windows(scenario)
     if windows:
         slack = n - config.quorum_size
-        if any(end is None or end > max_time * CRASH_RECOVERY_HEADROOM for _, _, end in windows):
+        if any(end is None or end > horizon * CRASH_RECOVERY_HEADROOM for _, _, end in windows):
             liveness = False
             reasons.append("a crash window does not recover with headroom before cut-off")
         if _max_concurrent_down(windows) > slack:
             liveness = False
             reasons.append(f"concurrent crashes exceed the quorum slack of {slack}")
     partitions = getattr(scenario, "partition_windows", ()) or ()
-    if any(float(end) > max_time * PARTITION_HEAL_HEADROOM for _, end in partitions):
+    if any(float(end) > horizon * PARTITION_HEAL_HEADROOM for _, end in partitions):
         liveness = False
         reasons.append("a partition does not heal with headroom before cut-off")
     max_events = int(getattr(scenario, "max_events", 0) or 0)

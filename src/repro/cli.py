@@ -12,9 +12,12 @@ Examples::
 
     repro run honest --protocol prft -n 8 --rounds 3
     repro run fork -n 9 --rational 2 --byzantine 1 --check
+    repro run honest --workload poisson --rate 50 --duration 500 --check
+    repro run honest --workload burst --burst 5:20 --burst 50:20 --duration 200
     repro run fuzz-artifacts/fuzz-0-0012.json      # replay a shrunk repro
     repro sweep honest --grid n=4,8,16,32 --seeds 10 --jobs 8 --out results.json
     repro sweep lossy-honest --grid loss_rate=0,0.1 --seeds 5 --check
+    repro sweep poisson-honest --grid arrival_rate=0.25,0.5,1,2 --seeds 5
     repro fuzz --budget 200 --seed 0 --jobs 8 --artifacts fuzz-artifacts
     repro check-catalog
     repro list-scenarios
@@ -110,6 +113,35 @@ def _add_run_arguments(
         "--crash", action="append", default=[], metavar="PID@T0[:T1]",
         help="crash replica PID at T0, recovering at T1 (omit T1 for a "
              "permanent crash); repeatable",
+    )
+    # Workload flags default to None (not the scenario defaults) so an
+    # explicitly-passed value — `--workload static`, `--rate 25` — is
+    # distinguishable from "unset" and overrides catalog entries and
+    # scenario files too.
+    parser.add_argument(
+        "--workload", choices=("static", "poisson", "closed", "burst"),
+        default=None,
+        help="client arrival process (default: the scenario's own; "
+             "'static' for legacy names); anything but 'static' switches "
+             "to the continuous multi-slot mode and needs --duration",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="poisson arrival rate in transactions per virtual time unit "
+             "(scenario default: 25)",
+    )
+    parser.add_argument(
+        "--outstanding", type=int, default=None,
+        help="closed-loop in-flight window size (scenario default: 4)",
+    )
+    parser.add_argument(
+        "--burst", action="append", default=[], metavar="T:COUNT",
+        help="burst workload: submit COUNT transactions at time T; repeatable",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="continuous-workload run length in virtual time (replicas "
+             "keep opening slots until it elapses or the load quiesces)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -221,6 +253,71 @@ def build_cli_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Legacy single-scenario pipeline (kept as the `run` implementation)
 # ----------------------------------------------------------------------
+def parse_burst_specs(specs: Sequence[str]) -> tuple:
+    """Parse repeated ``T:COUNT`` flags into Scenario.burst_schedule."""
+    entries = []
+    for spec in specs:
+        when, separator, count = spec.partition(":")
+        if not separator:
+            raise SystemExit(f"bad --burst spec {spec!r}; expected T:COUNT")
+        try:
+            entries.append((float(when), int(count)))
+        except ValueError:
+            raise SystemExit(f"bad --burst spec {spec!r}; expected T:COUNT")
+    return tuple(entries)
+
+
+_KIND_FLAG = {"poisson": "--rate", "closed": "--outstanding", "burst": "--burst"}
+
+
+def _workload_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """The workload axes a `repro run` invocation asks for, as
+    Scenario overrides.  Flags left unset (None defaults) contribute
+    nothing, so catalog entries and repro files keep their own
+    workloads; any flag actually passed — including `--workload
+    static` — overrides the resolved scenario.  A kind-specific flag
+    implies its workload (`--burst 5:10` alone selects the burst
+    workload rather than being silently ignored); flags of two
+    different kinds, or a flag contradicting an explicit
+    ``--workload``, are errors."""
+    overrides: Dict[str, Any] = {}
+    bursts = parse_burst_specs(getattr(args, "burst", []))
+    asked = [
+        kind
+        for kind, present in (
+            ("poisson", getattr(args, "rate", None) is not None),
+            ("closed", getattr(args, "outstanding", None) is not None),
+            ("burst", bool(bursts)),
+        )
+        if present
+    ]
+    workload = getattr(args, "workload", None)
+    if workload is None and asked:
+        if len(asked) > 1:
+            raise SystemExit(
+                f"{'/'.join(_KIND_FLAG[k] for k in asked)} imply different "
+                f"workloads ({', '.join(asked)}); pass --workload to disambiguate"
+            )
+        workload = asked[0]
+    if workload is not None:
+        mismatched = [kind for kind in asked if kind != workload]
+        if mismatched:
+            raise SystemExit(
+                f"{'/'.join(_KIND_FLAG[k] for k in mismatched)} only applies "
+                f"to the {'/'.join(mismatched)} workload, not {workload!r}"
+            )
+        overrides["workload"] = workload
+    if getattr(args, "duration", None) is not None:
+        overrides["duration"] = args.duration
+    if getattr(args, "rate", None) is not None:
+        overrides["arrival_rate"] = args.rate
+    if getattr(args, "outstanding", None) is not None:
+        overrides["outstanding"] = args.outstanding
+    if bursts:
+        overrides["burst_schedule"] = bursts
+    return overrides
+
+
 def parse_crash_specs(specs: Sequence[str]) -> tuple:
     """Parse repeated ``PID@T0[:T1]`` flags into Scenario.crash_spec."""
     entries = []
@@ -290,6 +387,15 @@ def scenario_report(result: RunResult, scenario: Scenario) -> str:
         ["messages", result.metrics.total_messages],
         ["bytes", result.metrics.total_bytes],
     ]
+    if result.throughput is not None:
+        tp = result.throughput
+        rows.append(["blocks/sec", round(tp.blocks_per_sec, 4)])
+        rows.append([
+            "commit latency mean/p99",
+            f"{tp.latency_mean:.2f} / {tp.latency_p99:.2f}",
+        ])
+        rows.append(["peak mempool backlog", tp.peak_backlog])
+        rows.append(["submitted / committed tx", f"{tp.submitted} / {tp.committed}"])
     if censored is not None:
         rows.append(["censorship resistant", verdict.censorship_resistance])
     if result.metrics.total_dropped:
@@ -338,6 +444,16 @@ def _resolve_run_scenario(args: argparse.Namespace) -> tuple:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scenario, seed = _resolve_run_scenario(args)
+    overrides = _workload_overrides(args)
+    if overrides:
+        # The single application point for the workload flags: they
+        # land on whatever the positional resolved to — a legacy name,
+        # a catalog entry or a scenario file (`repro run lossy-honest
+        # --workload poisson --rate 2 --duration 200`).
+        try:
+            scenario = scenario.with_params(**overrides)
+        except ValueError as error:
+            raise SystemExit(str(error))
     if getattr(args, "check", False) and not scenario.check_invariants:
         scenario = scenario.with_params(check_invariants=True)
     result = scenario.run(seed=seed)

@@ -131,7 +131,7 @@ class PRFTReplica(BaseReplica):
     def _start_round(self, round_number: int) -> None:
         if self.halted:
             return
-        if round_number >= self.config.max_rounds:
+        if self.round_limit_reached(round_number):
             self.trace("halt", round=round_number)
             self.halt()
             return
@@ -309,9 +309,10 @@ class PRFTReplica(BaseReplica):
         ):
             # A *verified* past-round ViewChange on a faulty network
             # means the sender is stuck behind lost traffic: retransmit
-            # this round's outcome so it can catch up.  (Unverifiable
-            # requests must not solicit block-carrying replies.)
-            self._offer_catch_up(sender, payload.round_number)
+            # everything from that round to our head so it can catch
+            # up in one cycle.  (Unverifiable requests must not
+            # solicit block-carrying replies.)
+            self._offer_catch_up_range(sender, payload.round_number)
 
     def _offer_catch_up(self, requester: int, round_number: int) -> None:
         """Resend our own record of a decided/aborted round to a laggard.
@@ -643,6 +644,7 @@ class PRFTReplica(BaseReplica):
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)
         self.ctx.collateral.note_block_mined()
+        self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         if broadcast_final and not state.final_sent:
             state.final_sent = True

@@ -1,9 +1,10 @@
 """Deterministic scenario fuzzing with failure shrinking.
 
-The catalog curates 18 hand-picked points of an axis space whose
+The catalog curates 22 hand-picked points of an axis space whose
 product — protocol × committee size × rational/byzantine mix ×
-strategies × loss/duplication/reorder/crash/partition/GST — is far too
-large for spot checks.  The fuzzer *generates* scenarios from a seeded
+strategies × loss/duplication/reorder/crash/partition/GST ×
+client workload (static/poisson/closed/burst × rate × duration) — is
+far too large for spot checks.  The fuzzer *generates* scenarios from a seeded
 RNG, runs each under the trace oracle (:mod:`repro.checks`) and, when
 a run violates an invariant, **shrinks** the configuration to a
 minimal scenario that still reproduces the violation, emitted as a
@@ -180,6 +181,25 @@ def _draw_axes(rng: random.Random, profile: str) -> Dict[str, Any]:
         half = n // 2
         fields["partition_windows"] = ((start, end),)
         fields["partition_groups"] = (tuple(range(half)), tuple(range(half, n)))
+
+    # Client workload ---------------------------------------------------
+    # Continuous workloads replace the fixed-slot loop with a
+    # duration-driven one; modest rates/durations keep a trial's event
+    # count near the fixed-slot envelope.  Censorship trials keep the
+    # static batch: their censored id must exist in the submitted set.
+    if attack != "censorship" and rng.random() < 0.25:
+        kind = rng.choice(("poisson", "closed", "burst"))
+        fields["workload"] = kind
+        fields["duration"] = float(rng.choice((40, 60, 90)))
+        if kind == "poisson":
+            fields["arrival_rate"] = round(rng.uniform(0.2, 1.2), 2)
+        elif kind == "closed":
+            fields["outstanding"] = rng.randint(2, 6)
+        else:
+            fields["burst_schedule"] = tuple(
+                (round(rng.uniform(0.0, 30.0), 1), rng.randint(2, 8))
+                for _ in range(rng.randint(1, 3))
+            )
 
     # Quorum and crypto -------------------------------------------------
     if rng.random() < 0.15:
@@ -373,6 +393,16 @@ def _shrink_candidates(scenario: Scenario) -> List[Dict[str, Any]]:
         moves.append({"thetas": ()})
     if scenario.tx_count is not None:
         moves.append({"tx_count": None})
+    if scenario.workload != "static":
+        # The whole workload group resets together: a continuous kind
+        # without its duration (or a burst kind without its schedule)
+        # would not validate.
+        moves.append({
+            "workload": "static", "duration": None, "burst_schedule": (),
+            "arrival_rate": 25.0, "outstanding": 4,
+        })
+    if scenario.duration is not None and scenario.duration > 20.0:
+        moves.append({"duration": round(scenario.duration / 2, 1)})
     if scenario.rounds > 1:
         moves.append({"rounds": max(1, scenario.rounds // 2)})
         moves.append({"rounds": scenario.rounds - 1})

@@ -53,8 +53,17 @@ from repro.protocols.lifecycle import CrashSchedule
 from repro.protocols.hotstuff import hotstuff_factory
 from repro.protocols.pbft import pbft_factory
 from repro.protocols.polygraph import polygraph_factory
-from repro.protocols.runner import RunResult, run_consensus
+from repro.protocols.runner import (
+    CryptoSpec,
+    FaultSpec,
+    NetworkSpec,
+    RunResult,
+    RunSpec,
+    WorkloadSpec,
+    run,
+)
 from repro.protocols.trap import trap_factory
+from repro.workloads import WORKLOAD_KINDS
 
 PROTOCOL_FACTORIES = {
     "prft": prft_factory,
@@ -112,6 +121,22 @@ class Scenario:
     restores the re-verify-everything reference path.  Both are sweep
     axes like any other field.
 
+    Workload: ``workload`` selects the client arrival process —
+    ``static`` (the legacy pre-loaded batch, default), ``poisson``
+    (open-loop at ``arrival_rate`` tx per time unit), ``closed`` (a
+    closed loop holding ``outstanding`` tx in flight) or ``burst``
+    (batches from ``burst_schedule``, ``(time, count)`` entries).
+    Continuous workloads (everything but ``static``) require
+    ``duration``: replicas then ignore ``rounds`` and keep opening
+    mempool-fed slots until that much virtual time elapses, or until a
+    finite arrival process is exhausted and the backlog drains
+    (quiesce).  Such runs attach a
+    :class:`~repro.sim.metrics.ThroughputReport` (blocks/sec, commit
+    latency distribution, backlog over time) to ``result.throughput``,
+    flattened into sweep records.  All workload axes sweep like any
+    other field; arrival processes draw from the per-run seed, so one
+    (scenario, seed) pair always replays identically.
+
     Oracle: ``check_invariants`` runs the trace oracle
     (:mod:`repro.checks`) post-hoc over every execution of this
     scenario — ``Scenario.run`` attaches the report to the result, and
@@ -152,6 +177,11 @@ class Scenario:
     reorder_jitter: float = 0.0
     crash_spec: Tuple[Tuple[Any, ...], ...] = ()
     tx_count: Optional[int] = None
+    workload: str = "static"
+    arrival_rate: float = 25.0
+    outstanding: int = 4
+    burst_schedule: Tuple[Tuple[float, int], ...] = ()
+    duration: Optional[float] = None
     max_time: float = 2_000.0
     max_events: int = 2_000_000
     crypto_backend: str = DEFAULT_BACKEND
@@ -199,6 +229,41 @@ class Scenario:
             raise ValueError("rational + byzantine must be fewer than n")
         if self.thetas and len(self.thetas) != len(rationals):
             raise ValueError("thetas must have one entry per rational player")
+        if self.workload not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from {WORKLOAD_KINDS}"
+            )
+        if self.workload != "static" and self.duration is None:
+            raise ValueError(
+                f"the {self.workload!r} workload is continuous: set duration"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive when set")
+        if self.duration is not None and self.duration > self.max_time:
+            # A duration past the engine bound would silently truncate
+            # the run while rates/expectations assume the full window.
+            raise ValueError("duration must not exceed max_time")
+        if self.workload == "burst" and not self.burst_schedule:
+            raise ValueError("burst workloads need a non-empty burst_schedule")
+        if self.tx_count is not None and self.workload != "static":
+            raise ValueError("tx_count only applies to the static workload")
+        if self.burst_schedule:
+            object.__setattr__(
+                self, "burst_schedule",
+                tuple((float(t), int(c)) for t, c in self.burst_schedule),
+            )
+        # The workload axes are validated by the layers that own them:
+        # the declarative spec (kind/rate/window/entry-shape rules) and,
+        # for continuous kinds, the workload constructor itself (the
+        # duration-relative rules, e.g. "some burst must fall before
+        # the duration").  Compiling a throwaway instance here surfaces
+        # bad axes at construction time with the owner's own message,
+        # and only the axes the selected workload actually uses are
+        # checked (a burst catalog entry re-pointed at poisson keeps
+        # its now-ignored schedule without tripping burst rules).
+        spec = self.build_workload_spec()
+        if self.workload != "static":
+            spec.build(self.build_config())
         if not 0 <= self.loss_rate < 1:
             raise ValueError("loss_rate must lie in [0, 1)")
         if not 0 <= self.duplicate_rate <= 1:
@@ -281,6 +346,7 @@ class Scenario:
     def build_config(self) -> ProtocolConfig:
         common = dict(
             max_rounds=self.rounds,
+            duration=self.duration,
             timeout=self.timeout,
             quorum=self.quorum,
             block_size=self.block_size,
@@ -320,7 +386,24 @@ class Scenario:
             return None
         return CrashSchedule.from_spec(self.crash_spec)
 
+    def build_workload_spec(self) -> WorkloadSpec:
+        """The declarative client-workload half of the run spec."""
+        if self.workload == "poisson":
+            return WorkloadSpec(kind="poisson", rate=self.arrival_rate)
+        if self.workload == "closed":
+            return WorkloadSpec(kind="closed", outstanding=self.outstanding)
+        if self.workload == "burst":
+            return WorkloadSpec(kind="burst", bursts=self.burst_schedule)
+        return WorkloadSpec(kind="static", count=self.tx_count)
+
     def effective_max_time(self) -> float:
+        # Continuous runs stop opening slots at `duration`; the bound
+        # only needs to cover the in-flight slot (plus retransmission
+        # timeouts), not the configured max_time — without the cap, a
+        # straggler replica that entered one extra slot would tick its
+        # view-change timer all the way to max_time.
+        if self.duration is not None:
+            return min(self.max_time, self.duration + 8 * self.timeout)
         # Partial synchrony needs headroom past GST for quorums to form.
         if self.delay == "partial":
             return self.max_time + self.gst * 5
@@ -338,28 +421,27 @@ class Scenario:
         the fuzzer and CI decide what a violation means).
         """
         players = self.build_players()
-        transactions = None
-        if self.tx_count is not None:
-            from repro.protocols.runner import make_transactions
-
-            transactions = make_transactions(self.tx_count)
-        result = run_consensus(
-            PROTOCOL_FACTORIES[self.protocol],
-            players,
-            self.build_config(),
-            delay_model=self.build_delay(seed=seed),
-            partitions=self.build_partitions(players),
-            transactions=transactions,
+        spec = RunSpec(
+            factory=PROTOCOL_FACTORIES[self.protocol],
+            players=tuple(players),
+            config=self.build_config(),
+            network=NetworkSpec(
+                delay_model=self.build_delay(seed=seed),
+                partitions=self.build_partitions(players),
+                loss_rate=self.loss_rate,
+                duplicate_rate=self.duplicate_rate,
+                reorder_jitter=self.reorder_jitter,
+            ),
+            crypto=CryptoSpec(
+                backend=self.crypto_backend, cache_size=self.crypto_cache_size
+            ),
+            faults=FaultSpec(crash_schedule=self.build_crash_schedule()),
+            workload=self.build_workload_spec(),
+            seed=f"{self.name}/{seed}",
             max_time=self.effective_max_time(),
             max_events=self.max_events,
-            seed=f"{self.name}/{seed}",
-            crypto_backend=self.crypto_backend,
-            crypto_cache_size=self.crypto_cache_size,
-            loss_rate=self.loss_rate,
-            duplicate_rate=self.duplicate_rate,
-            reorder_jitter=self.reorder_jitter,
-            crash_schedule=self.build_crash_schedule(),
         )
+        result = run(spec)
         if self.check_invariants:
             result.oracle = run_oracle(result, scenario=self, seed=seed)
         return result
@@ -655,4 +737,55 @@ def duplicate_storm() -> Scenario:
         name="duplicate-storm", n=7, rounds=3,
         duplicate_rate=0.5, reorder_jitter=0.5,
         timeout=15.0, max_time=400.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Continuous-workload scenarios: client traffic as an arrival process
+# and a duration-driven multi-slot ledger (the pBFT/HotStuff evaluation
+# framing — blocks/sec and commit latency under sustained load).  All
+# of them attach a ThroughputReport and are meant to be swept, e.g.
+# --grid arrival_rate=0.25,0.5,1,2 seeds=10.
+# ----------------------------------------------------------------------
+@register_scenario
+def poisson_honest() -> Scenario:
+    """Open-loop Poisson client traffic on an honest committee: the
+    blocks/sec, commit-latency and mempool-backlog baseline."""
+    return Scenario(
+        name="poisson-honest", n=7, workload="poisson", arrival_rate=0.8,
+        duration=120.0, timeout=10.0, max_time=400.0,
+    )
+
+
+@register_scenario
+def closed_loop_prft() -> Scenario:
+    """A closed-loop client holding eight transactions in flight:
+    service-rate-limited throughput (backlog can never exceed the
+    window), measuring how fast pRFT turns the window over."""
+    return Scenario(
+        name="closed-loop-prft", n=7, workload="closed", outstanding=8,
+        duration=100.0, timeout=10.0, max_time=400.0,
+    )
+
+
+@register_scenario
+def burst_under_loss() -> Scenario:
+    """Two client bursts over a 10%-loss link: the backlog must drain
+    through the retransmission paths, then the run quiesces."""
+    return Scenario(
+        name="burst-under-loss", n=7, workload="burst",
+        burst_schedule=((5.0, 12), (40.0, 12)), loss_rate=0.1,
+        duration=90.0, timeout=10.0, max_time=400.0,
+    )
+
+
+@register_scenario
+def poisson_crash_churn() -> Scenario:
+    """Poisson traffic while a replica crashes and recovers mid-run:
+    the committee keeps absorbing arrivals, and the recovered replica
+    catches back up without stalling throughput."""
+    return Scenario(
+        name="poisson-crash-churn", n=9, workload="poisson",
+        arrival_rate=0.6, crash_spec=((3, 10.0, 40.0),),
+        duration=120.0, timeout=10.0, max_time=400.0,
     )

@@ -58,6 +58,13 @@ class RunRecord:
     # (and the golden byte-identity gates) are unchanged.
     invariants: Optional[Tuple[Tuple[str, str], ...]] = None
     invariant_violations: Tuple[str, ...] = ()
+    # Throughput projection: the flat scalars of the run's
+    # ThroughputReport, populated only for continuous-workload runs.
+    # None (vs empty) distinguishes "no report" from "report of zeros";
+    # serialisers omit the field entirely when no report exists, so
+    # legacy fixed-slot records (and the golden byte-identity gates)
+    # are unchanged.
+    throughput: Optional[Tuple[Tuple[str, float], ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,6 +93,9 @@ class RunRecord:
             # exactly through the sort_keys=True JSON writer.
             invariants = tuple(sorted(report.as_items()))
             invariant_violations = tuple(sorted(report.violated_names))
+        throughput: Optional[Tuple[Tuple[str, float], ...]] = None
+        if result.throughput is not None:
+            throughput = tuple(sorted(result.throughput.summary().items()))
         utilities = tuple(
             (player.player_id,
              result.realised_utility(player.player_id, player.theta, censored_tx_ids=censored))
@@ -114,6 +124,7 @@ class RunRecord:
             wall_time=wall_time,
             invariants=invariants,
             invariant_violations=invariant_violations,
+            throughput=throughput,
         )
 
     # ------------------------------------------------------------------
@@ -135,6 +146,12 @@ class RunRecord:
         else:
             data["invariants"] = dict(self.invariants)
             data["invariant_violations"] = list(self.invariant_violations)
+        if self.throughput is None:
+            # Legacy fixed-slot run: no report, and no key, so golden
+            # byte-identity is preserved.
+            del data["throughput"]
+        else:
+            data["throughput"] = dict(self.throughput)
         if not include_timing:
             del data["wall_time"]
         return data
@@ -153,6 +170,10 @@ class RunRecord:
         else:
             kwargs["invariants"] = None
         kwargs["invariant_violations"] = tuple(data.get("invariant_violations", ()))
+        if "throughput" in data and data["throughput"] is not None:
+            kwargs["throughput"] = tuple(sorted(dict(data["throughput"]).items()))
+        else:
+            kwargs["throughput"] = None
         kwargs.setdefault("wall_time", 0.0)
         return cls(**kwargs)
 
@@ -215,9 +236,12 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
     """
     axes = sorted({key for record in records for key, _ in record.params})
     with_oracle = any(record.invariants is not None for record in records)
+    with_throughput = any(record.throughput is not None for record in records)
     headers = list(_CSV_FIELDS) + [f"param:{axis}" for axis in axes]
     if with_oracle:
         headers += ["invariants", "invariant_violations"]
+    if with_throughput:
+        headers.append("throughput")
     if include_timing:
         headers.append("wall_time")
     with open(path, "w", newline="") as handle:
@@ -233,6 +257,10 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
                     ";".join(f"{name}={status}" for name, status in record.invariants or ())
                 )
                 row.append(" ".join(record.invariant_violations))
+            if with_throughput:
+                row.append(
+                    ";".join(f"{name}={value}" for name, value in record.throughput or ())
+                )
             if include_timing:
                 row.append(record.wall_time)
             writer.writerow(row)
@@ -297,5 +325,12 @@ def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
             summary["invariant_violation_runs"] = sum(
                 1 for record in group if record.invariant_violations
             )
+        reports = [dict(r.throughput) for r in group if r.throughput is not None]
+        if reports:
+            # Continuous-workload groups: the headline rates, averaged
+            # over seeds (absent from legacy groups, same reasoning).
+            summary["mean_blocks_per_sec"] = mean([t["blocks_per_sec"] for t in reports])
+            summary["mean_latency_p99"] = mean([t["latency_p99"] for t in reports])
+            summary["max_peak_backlog"] = max(t["peak_backlog"] for t in reports)
         summaries.append(summary)
     return summaries

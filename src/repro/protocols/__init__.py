@@ -6,9 +6,13 @@
 - :mod:`~repro.protocols.lifecycle` — the crash/recovery lifecycle
   (:class:`~repro.protocols.lifecycle.ReplicaStatus`,
   :class:`~repro.protocols.lifecycle.CrashSchedule`);
-- :mod:`~repro.protocols.runner` — builds a full simulated deployment
-  (engine, network, PKI, collateral, replicas) and runs it to a
-  :class:`~repro.protocols.runner.RunResult`;
+- :mod:`~repro.protocols.spec` — the composable typed run
+  specifications (:class:`~repro.protocols.spec.RunSpec` and its
+  network / crypto / fault / workload sub-specs);
+- :mod:`~repro.protocols.runner` — executes a ``RunSpec``: builds a
+  full simulated :class:`~repro.protocols.runner.Deployment` (engine,
+  network, PKI, collateral, replicas, client workload) and runs it to
+  a :class:`~repro.protocols.runner.RunResult`;
 - :mod:`~repro.protocols.pbft` — pBFT (Castro-Liskov) baseline;
 - :mod:`~repro.protocols.hotstuff` — HotStuff-style linear baseline;
 - :mod:`~repro.protocols.polygraph` — Polygraph-style accountable BFT;
@@ -19,16 +23,34 @@ The paper's own protocol, pRFT, lives in :mod:`repro.core`.
 
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
 from repro.protocols.lifecycle import CrashSchedule, CrashWindow, ReplicaStatus
-from repro.protocols.runner import RunResult, build_context, run_consensus
+from repro.protocols.runner import (
+    CryptoSpec,
+    Deployment,
+    FaultSpec,
+    NetworkSpec,
+    RunResult,
+    RunSpec,
+    WorkloadSpec,
+    build_context,
+    run,
+    run_consensus,
+)
 
 __all__ = [
     "BaseReplica",
     "CrashSchedule",
     "CrashWindow",
+    "CryptoSpec",
+    "Deployment",
+    "FaultSpec",
+    "NetworkSpec",
     "ProtocolConfig",
     "ProtocolContext",
     "ReplicaStatus",
     "RunResult",
+    "RunSpec",
+    "WorkloadSpec",
     "build_context",
+    "run",
     "run_consensus",
 ]

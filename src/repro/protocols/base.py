@@ -26,6 +26,7 @@ from repro.net.envelope import Envelope
 from repro.net.network import Network
 from repro.protocols.lifecycle import ReplicaStatus
 from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import CommitLog
 from repro.sim.timers import TimerService
 
 
@@ -41,7 +42,14 @@ class ProtocolConfig:
             pRFT uses.  Claim 1's experiments sweep τ outside the
             admissible window [⌊(n+t0)/2⌋+1, n−t0].
         timeout: the local waiting time Δ before view change.
-        max_rounds: rounds after which replicas stop initiating work.
+        max_rounds: rounds after which replicas stop initiating work
+            (legacy fixed-slot mode; ignored while ``duration`` is set).
+        duration: when set, switches the deployment to the continuous
+            multi-slot mode: replicas keep opening slots fed by their
+            mempools until this much virtual time has elapsed — or, for
+            a finite workload, until the arrival process is exhausted
+            and the backlog drains (quiesce).  ``None`` (the default)
+            keeps the legacy stop-after-``max_rounds`` semantics.
         block_size: max transactions per proposed block.
         deposit: the collateral L per player.
         alpha: the payoff scale α of Table 2.
@@ -57,6 +65,7 @@ class ProtocolConfig:
     quorum: Optional[int] = None
     timeout: float = 30.0
     max_rounds: int = 3
+    duration: Optional[float] = None
     block_size: int = 4
     deposit: float = 10.0
     alpha: float = 1.0
@@ -74,6 +83,8 @@ class ProtocolConfig:
             raise ValueError("timeout must be positive")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be at least 1")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive when set")
 
     @property
     def quorum_size(self) -> int:
@@ -102,13 +113,23 @@ class ProtocolConfig:
 
 @dataclass
 class ProtocolContext:
-    """Everything a replica shares with the rest of the deployment."""
+    """Everything a replica shares with the rest of the deployment.
+
+    ``commit_log`` collects first-finalisation times (restricted to the
+    honest roster by the deployment) for throughput metrics and
+    closed-loop clients; ``workload`` is the installed client arrival
+    process, consulted by the continuous round loop's quiesce rule
+    (``None`` outside a :class:`~repro.protocols.runner.Deployment`,
+    e.g. in unit tests that assemble contexts by hand).
+    """
 
     engine: SimulationEngine
     network: Network
     timers: TimerService
     registry: KeyRegistry
     collateral: CollateralRegistry
+    commit_log: CommitLog = field(default_factory=CommitLog)
+    workload: Optional[Any] = None
 
     @property
     def trace(self):
@@ -153,6 +174,27 @@ class BaseReplica(ABC):
         """Round-robin leader: l = r mod n (the paper's 1 + (r mod n),
         zero-indexed)."""
         return round_number % self.config.n
+
+    def round_limit_reached(self, round_number: int) -> bool:
+        """Whether this replica should stop initiating slots.
+
+        Legacy mode (``config.duration`` unset): stop after
+        ``max_rounds`` fixed slots — the paper-experiment framing.
+        Continuous mode: keep opening mempool-fed slots until the
+        configured duration of virtual time elapses, or — when the
+        installed workload reports its arrival process exhausted and
+        this replica's own backlog has drained — quiesce early.
+        """
+        if self.config.duration is None:
+            return round_number >= self.config.max_rounds
+        if self.ctx.now >= self.config.duration:
+            return True
+        workload = self.ctx.workload
+        return (
+            workload is not None
+            and workload.finished(self.ctx.now)
+            and len(self.mempool) == 0
+        )
 
     @abstractmethod
     def current_leader(self) -> int:
@@ -297,6 +339,32 @@ class BaseReplica(ABC):
     def trace(self, kind: str, **detail: Any) -> None:
         self.ctx.trace.record(self.ctx.now, kind, self.player_id, **detail)
 
+    def _offer_catch_up_range(self, requester: int, round_number: int) -> None:
+        """Serve every round from the requested one up to our head.
+
+        Every protocol implements a per-round ``_offer_catch_up`` and
+        routes its catch-up requests through this range.  Under
+        continuous load a recovered replica can lag many slots; if one
+        view-change timeout only recovered one round, peers would keep
+        minting new slots faster than the laggard closes the gap and it
+        would never converge before cut-off — so a single request
+        drains the whole decided backlog.  The current round is
+        included: a halted server's last round is its current one, and
+        serving an undecided round is a no-op.
+        """
+        for number in range(round_number, self.current_round + 1):
+            self._offer_catch_up(requester, number)
+
+    def note_block_finalized(self, block: Any) -> None:
+        """Report a freshly finalized block to the shared commit log.
+
+        Every protocol calls this from its finalize path; the log keeps
+        first-observation times per transaction and digest (restricted
+        to the honest roster) for throughput metrics and closed-loop
+        clients.  Recording schedules no events.
+        """
+        self.ctx.commit_log.note(self.player_id, self.ctx.now, block)
+
     def halt(self) -> None:
         """Stop all activity (end of configured rounds)."""
         self.halted = True
@@ -363,7 +431,7 @@ class BaseReplica(ABC):
         }
         self._init_volatile_state()
         self._rounds.update(keep)
-        if self.current_round >= self.config.max_rounds:
+        if self.round_limit_reached(self.current_round):
             self.halt()
             return
         self.trace("rejoin", round=self.current_round)

@@ -175,7 +175,7 @@ class HotStuffReplica(BaseReplica):
     def _start_round(self, round_number: int) -> None:
         if self.halted:
             return
-        if round_number >= self.config.max_rounds:
+        if self.round_limit_reached(round_number):
             self.halt()
             return
         self.current_round = round_number
@@ -324,10 +324,19 @@ class HotStuffReplica(BaseReplica):
             self._on_certificate(sender, payload)
 
     def on_halted_payload(self, sender: int, payload: Any) -> None:
-        """Halted replicas still serve catch-up: the availability of
-        decided blocks outlives the configured rounds."""
+        """Halted replicas still serve catch-up — and still *adopt* it.
+
+        Finality evidence outlives the configured slots (pRFT's halted
+        path absorbs late finals the same way): a lagging replica cut
+        off by the duration bound has solicited catch-up replies still
+        in flight, and peers' ordinary decide broadcasts keep arriving;
+        dropping them would freeze its chain short of the committee's
+        head forever.
+        """
         if isinstance(payload, HsNewView):
             self._on_newview(sender, payload)
+        elif isinstance(payload, HsCertificateMessage):
+            self._on_late_certificate(sender, payload)
 
     def _on_proposal(self, sender: int, message: HsProposal) -> None:
         round_number = message.round_number
@@ -393,7 +402,17 @@ class HotStuffReplica(BaseReplica):
         round_number = message.round_number
         certificate = message.certificate
         if sender != self.leader_of_round(round_number):
-            return
+            # Forwarded certificates only arrive on faulty links (the
+            # catch-up path relays peers' stored decides).  A decide QC
+            # is self-certifying via its leader attestation — exactly
+            # the rule the late-adoption path applies — so accept it
+            # from any relay; phase QCs stay leader-only.
+            if (
+                certificate.phase != HS_PHASES[-1]
+                or not self.ctx.network.unreliable
+                or not self._attested(certificate)
+            ):
+                return
         if certificate.signer_count < self.config.quorum_size:
             return
         state = self._state(round_number)
@@ -401,6 +420,11 @@ class HotStuffReplica(BaseReplica):
         if phase_index < 0:
             return
         if certificate.phase == HS_PHASES[-1]:
+            # Catch-up replies attach the block body: without it a
+            # laggard that never saw the proposal could hold the decide
+            # QC yet stall the decide for another request cycle.
+            if message.block is not None and message.block.digest == certificate.digest:
+                state.blocks.setdefault(certificate.digest, message.block)
             state.decide_certificate = certificate
             self._decide(state, certificate.digest)
             return
@@ -437,7 +461,11 @@ class HotStuffReplica(BaseReplica):
             return
         if not verify_statement(self.ctx.registry, statement):
             return
-        state = self._rounds.get(message.round_number)
+        self._offer_catch_up_range(sender, message.round_number)
+
+    def _offer_catch_up(self, requester: int, round_number: int) -> None:
+        """Resend one decided round's QC (with the block) to a laggard."""
+        state = self._rounds.get(round_number)
         if state is None or not state.finalized:
             return
         if state.decide_certificate is None or state.decided_digest is None:
@@ -447,7 +475,7 @@ class HotStuffReplica(BaseReplica):
             return
         reply = HsCertificateMessage(certificate=state.decide_certificate, block=block)
         self.send_direct(
-            sender, reply, HS_DECIDE, reply.size_bytes, message.round_number,
+            requester, reply, HS_DECIDE, reply.size_bytes, round_number,
             phase=HS_PHASES[-1],
         )
 
@@ -494,9 +522,16 @@ class HotStuffReplica(BaseReplica):
         return verify_statement(self.ctx.registry, attestation)
 
     def _try_adopt(self, start_round: int) -> None:
-        """Retro-finalize a chain of missed decides, oldest first."""
+        """Retro-finalize a chain of missed decides, oldest first.
+
+        A live replica's current round is handled by the normal
+        certificate path, so adoption stops below it; a *halted*
+        replica has no round machinery running and may have been cut
+        off inside its current round, so adoption covers it too.
+        """
         round_number = start_round
-        while round_number < self.current_round:
+        head = self.current_round + 1 if self.halted else self.current_round
+        while round_number < head:
             state = self._rounds.get(round_number)
             if state is None or state.finalized or state.decide_certificate is None:
                 return
@@ -510,6 +545,7 @@ class HotStuffReplica(BaseReplica):
             self.chain.finalize(digest)
             self.mempool.mark_included(tx.tx_id for tx in block.transactions)
             self.ctx.collateral.note_block_mined()
+            self.note_block_finalized(block)
             self.trace("retro_final", round=round_number, digest=digest[:12])
             round_number += 1
 
@@ -525,6 +561,7 @@ class HotStuffReplica(BaseReplica):
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)
         self.ctx.collateral.note_block_mined()
+        self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         self._advance(state.number)
 

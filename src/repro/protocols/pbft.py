@@ -135,7 +135,7 @@ class PBFTReplica(BaseReplica):
     def _start_round(self, round_number: int) -> None:
         if self.halted:
             return
-        if round_number >= self.config.max_rounds:
+        if self.round_limit_reached(round_number):
             self.halt()
             return
         self.current_round = round_number
@@ -297,7 +297,7 @@ class PBFTReplica(BaseReplica):
             return
         if not self._valid(payload.statement, sender, VIEW_CHANGE):
             return
-        self._offer_catch_up(sender, payload.round_number)
+        self._offer_catch_up_range(sender, payload.round_number)
 
     def _offer_catch_up(self, requester: int, round_number: int) -> None:
         """Retransmit our round outcome to a peer stuck behind lost traffic.
@@ -351,6 +351,7 @@ class PBFTReplica(BaseReplica):
         self.chain.finalize(digest)
         self.mempool.mark_included(tx.tx_id for tx in block.transactions)
         self.ctx.collateral.note_block_mined()
+        self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         self._advance(state.number)
 

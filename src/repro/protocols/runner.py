@@ -1,17 +1,25 @@
 """Build a simulated deployment and run it to completion.
 
-The runner is the one-stop entry point used by tests, examples and
-benchmarks: given a protocol factory, a player roster, a configuration
-and a network model, it assembles engine + network + PKI + collateral,
-starts every replica, injects client transactions, runs the event loop
-and returns a :class:`RunResult` with everything the analysis layer
-needs (honest chains, trace, metrics, collateral, realised states).
+The runner executes a :class:`~repro.protocols.spec.RunSpec` — the
+composable, typed description of one deployment (protocol triple plus
+network / crypto / fault / workload specs).  :class:`Deployment`
+assembles engine + network + PKI + collateral + client workload from
+the spec, starts every replica, drives the event loop and returns a
+:class:`RunResult` with everything the analysis layer needs (honest
+chains, trace, metrics, collateral, throughput, realised states)::
+
+    result = run(RunSpec(factory=prft_factory, players=..., config=...))
+
+The historical entry point :func:`run_consensus` survives as a thin
+compatibility shim that folds its flat keyword arguments into a
+``RunSpec``; tests, examples and benchmarks written against it behave
+identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.agents.player import Player, Role
 from repro.crypto.backends import DEFAULT_BACKEND
@@ -27,12 +35,34 @@ from repro.net.network import Network
 from repro.net.partition import PartitionSchedule
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
 from repro.protocols.lifecycle import CrashSchedule
+from repro.protocols.spec import (
+    CryptoSpec,
+    FaultSpec,
+    NetworkSpec,
+    ReplicaFactory,
+    RunSpec,
+    WorkloadSpec,
+)
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import MetricsCollector
+from repro.sim.metrics import MetricsCollector, ThroughputReport, build_throughput_report
 from repro.sim.timers import TimerService
 from repro.sim.trace import TraceRecorder
+from repro.workloads import Workload, make_transactions
 
-ReplicaFactory = Callable[[Player, ProtocolConfig, ProtocolContext], BaseReplica]
+__all__ = [
+    "ReplicaFactory",
+    "RunSpec",
+    "NetworkSpec",
+    "CryptoSpec",
+    "FaultSpec",
+    "WorkloadSpec",
+    "Deployment",
+    "RunResult",
+    "build_context",
+    "make_transactions",
+    "run",
+    "run_consensus",
+]
 
 
 def build_context(
@@ -98,6 +128,10 @@ class RunResult:
     # Attached post-hoc by Scenario.run when check_invariants is set
     # (an OracleReport; typed Any to keep the checks layer above us).
     oracle: Optional[Any] = None
+    # Populated by the Deployment for continuous-workload runs (a
+    # configured duration or any non-static workload); None for legacy
+    # fixed-slot runs, whose records stay byte-identical.
+    throughput: Optional[ThroughputReport] = None
 
     # ------------------------------------------------------------------
     # Views by role
@@ -162,9 +196,88 @@ class RunResult:
         return self.ctx.network.metrics
 
 
-def make_transactions(count: int, prefix: str = "tx") -> List[Transaction]:
-    """A simple deterministic client workload."""
-    return [Transaction(tx_id=f"{prefix}-{index}", payload=f"payload-{index}") for index in range(count)]
+class Deployment:
+    """One assembled deployment: context, replicas, faults, workload.
+
+    Construction performs every side-effect-free assembly step in the
+    exact order the legacy runner used (context → replicas → crash
+    schedule → workload install), so a default static-batch spec
+    schedules the identical event sequence; :meth:`execute` starts the
+    replicas, drives the engine and builds the :class:`RunResult`.
+    """
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        config = spec.config
+        self.ctx = build_context(
+            config,
+            spec.player_ids,
+            delay_model=spec.network.delay_model,
+            partitions=spec.network.partitions,
+            seed=spec.seed,
+            crypto_backend=spec.crypto.backend,
+            crypto_cache_size=spec.crypto.cache_size,
+            loss_rate=spec.network.loss_rate,
+            duplicate_rate=spec.network.duplicate_rate,
+            reorder_jitter=spec.network.reorder_jitter,
+        )
+        # Client-visible commits are what honest replicas finalise; a
+        # deviator's lone fork block never counts.
+        self.ctx.commit_log.restrict_to(
+            p.player_id for p in spec.players if p.role is Role.HONEST
+        )
+        self.replicas: Dict[int, BaseReplica] = {}
+        for player in spec.players:
+            self.replicas[player.player_id] = spec.factory(player, config, self.ctx)
+
+        if spec.faults.active:
+            # Crash faults break exactly-once delivery just like link
+            # loss does; protocols gate retransmission on this flag.
+            self.ctx.network.mark_unreliable()
+            spec.faults.crash_schedule.install(self.ctx.engine, self.replicas)
+
+        self.workload: Workload = spec.workload.build(config, seed=spec.seed)
+        self.ctx.workload = self.workload
+        self.workload.install(self.ctx, self.replicas)
+        self._executed = False
+
+    def execute(self) -> RunResult:
+        """Start every replica, run the event loop, collect the result."""
+        if self._executed:
+            raise RuntimeError("a Deployment can only be executed once")
+        self._executed = True
+        for replica in self.replicas.values():
+            replica.start()
+        self.ctx.engine.run(until=self.spec.max_time, max_events=self.spec.max_events)
+        result = RunResult(
+            config=self.spec.config,
+            players=list(self.spec.players),
+            replicas=self.replicas,
+            ctx=self.ctx,
+            submitted_tx_ids=self.workload.submitted_ids(),
+        )
+        if self.spec.config.duration is not None or self.spec.workload.continuous:
+            result.throughput = self._throughput_report(result)
+        return result
+
+    def _throughput_report(self, result: RunResult) -> ThroughputReport:
+        # Rates normalise over the configured duration, clipped to the
+        # time the run last did anything (a quiesced run ends earlier;
+        # engine.now is useless here — run() advances it to max_time).
+        duration = self.spec.config.duration
+        quiesced = self.ctx.engine.last_event_time
+        horizon = quiesced if duration is None else min(duration, quiesced)
+        return build_throughput_report(
+            self.workload.submissions(),
+            self.ctx.commit_log.commit_times(),
+            blocks=result.final_block_count(),
+            horizon=max(horizon, 1e-9),
+        )
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` end to end."""
+    return Deployment(spec).execute()
 
 
 def run_consensus(
@@ -184,59 +297,32 @@ def run_consensus(
     reorder_jitter: float = 0.0,
     crash_schedule: Optional[CrashSchedule] = None,
 ) -> RunResult:
-    """Run one full consensus deployment and return the result.
+    """Compatibility shim: the historical flat-kwargs entry point.
 
-    Players must have ids 0..n-1 matching ``config.n``.  Transactions
-    default to ``2 * block_size * max_rounds`` generated ones so every
-    round has work.  ``crypto_backend`` / ``crypto_cache_size``
-    configure the deployment's signature backend and the registry's
-    verified-signature cache (0 disables caching — the reference path).
-    ``loss_rate`` / ``duplicate_rate`` / ``reorder_jitter`` configure
-    the network's link-layer fault pipeline; ``crash_schedule`` takes
-    replicas through crash/recovery at scheduled virtual times.  With
-    all of them at their defaults the network is the reliable
-    exactly-once channel of the paper's baseline model.
+    Folds its arguments into a :class:`RunSpec` (a static-batch
+    workload with the historical default of
+    ``2 · block_size · max_rounds`` generated transactions) and
+    executes it.  New code should build a ``RunSpec`` directly.
     """
-    ids = sorted(p.player_id for p in players)
-    if ids != list(range(config.n)):
-        raise ValueError("players must have ids 0..n-1 matching config.n")
-
-    ctx = build_context(
-        config,
-        ids,
-        delay_model=delay_model,
-        partitions=partitions,
-        seed=seed,
-        crypto_backend=crypto_backend,
-        crypto_cache_size=crypto_cache_size,
-        loss_rate=loss_rate,
-        duplicate_rate=duplicate_rate,
-        reorder_jitter=reorder_jitter,
-    )
-    replicas: Dict[int, BaseReplica] = {}
-    for player in players:
-        replicas[player.player_id] = factory(player, config, ctx)
-
-    if crash_schedule is not None and crash_schedule.windows:
-        # Crash faults break exactly-once delivery just like link loss
-        # does; protocols gate their retransmission paths on this flag.
-        ctx.network.mark_unreliable()
-        crash_schedule.install(ctx.engine, replicas)
-
-    if transactions is None:
-        transactions = make_transactions(2 * config.block_size * config.max_rounds)
-    for replica in replicas.values():
-        replica.submit_transactions(list(transactions))
-
-    for replica in replicas.values():
-        replica.start()
-
-    ctx.engine.run(until=max_time, max_events=max_events)
-
-    return RunResult(
+    spec = RunSpec(
+        factory=factory,
+        players=tuple(players),
         config=config,
-        players=list(players),
-        replicas=replicas,
-        ctx=ctx,
-        submitted_tx_ids=[tx.tx_id for tx in transactions],
+        network=NetworkSpec(
+            delay_model=delay_model,
+            partitions=partitions,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            reorder_jitter=reorder_jitter,
+        ),
+        crypto=CryptoSpec(backend=crypto_backend, cache_size=crypto_cache_size),
+        faults=FaultSpec(crash_schedule=crash_schedule),
+        workload=WorkloadSpec(
+            kind="static",
+            transactions=tuple(transactions) if transactions is not None else None,
+        ),
+        seed=seed,
+        max_time=max_time,
+        max_events=max_events,
     )
+    return run(spec)

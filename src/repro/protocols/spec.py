@@ -1,0 +1,214 @@
+"""Composable, typed run specifications.
+
+``run_consensus`` accreted fifteen flat keyword arguments across the
+crypto, link-fault, crash and oracle subsystems; this module collapses
+them into small frozen spec dataclasses, grouped by subsystem, that
+compose into one :class:`RunSpec` — the single value a
+:class:`~repro.protocols.runner.Deployment` executes::
+
+    spec = RunSpec(
+        factory=prft_factory,
+        players=tuple(honest_roster(8)),
+        config=ProtocolConfig.for_prft(n=8, duration=200.0),
+        network=NetworkSpec(loss_rate=0.05),
+        workload=WorkloadSpec(kind="poisson", rate=2.0),
+        seed="demo/0",
+    )
+    result = run(spec)
+
+Every spec is a plain frozen dataclass with defaults equal to the
+legacy behaviour, so ``RunSpec(factory, players, config)`` is exactly
+the old ``run_consensus(factory, players, config)`` — and the old
+callable survives as a thin shim that builds one of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.agents.player import Player
+from repro.crypto.backends import DEFAULT_BACKEND
+from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE
+from repro.ledger.transaction import Transaction
+from repro.net.delays import DelayModel
+from repro.net.partition import PartitionSchedule
+from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
+from repro.protocols.lifecycle import CrashSchedule
+from repro.workloads import (
+    WORKLOAD_KINDS,
+    Burst,
+    ClosedLoop,
+    PoissonOpenLoop,
+    StaticBatch,
+    Workload,
+    make_transactions,
+)
+
+ReplicaFactory = Callable[[Player, ProtocolConfig, ProtocolContext], BaseReplica]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The transport: synchrony model, partitions and link faults.
+
+    Defaults are the paper's baseline — reliable exactly-once channels
+    under a fixed unit delay (``delay_model=None`` means
+    ``FixedDelay(1.0)``).  The fault knobs configure the link-layer
+    pipeline exactly as the old flat kwargs did.
+    """
+
+    delay_model: Optional[DelayModel] = None
+    partitions: Optional[PartitionSchedule] = None
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("loss_rate must lie in [0, 1)")
+        if not 0 <= self.duplicate_rate <= 1:
+            raise ValueError("duplicate_rate must lie in [0, 1]")
+        if self.reorder_jitter < 0:
+            raise ValueError("reorder_jitter must be non-negative")
+
+
+@dataclass(frozen=True)
+class CryptoSpec:
+    """Signature backend and the deployment's verification cache."""
+
+    backend: str = DEFAULT_BACKEND
+    cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Process faults: the crash/recovery schedule."""
+
+    crash_schedule: Optional[CrashSchedule] = None
+
+    @property
+    def active(self) -> bool:
+        return self.crash_schedule is not None and bool(self.crash_schedule.windows)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The client arrival process, declaratively.
+
+    ``kind`` selects the workload class; the remaining fields apply to
+    one kind each and are ignored by the others:
+
+    - ``static`` — the legacy pre-loaded batch: ``transactions``
+      verbatim if given, else ``count`` generated ones, else the
+      historical default of ``2 · block_size · max_rounds``.
+    - ``poisson`` — open-loop arrivals at ``rate`` tx per time unit.
+    - ``closed`` — a closed loop holding ``outstanding`` tx in flight.
+    - ``burst`` — batches at fixed times from ``bursts`` (entries at
+      or beyond the configured duration are dropped at build time;
+      arrivals stop at the duration like every continuous workload).
+
+    Continuous kinds (everything but ``static``) require the protocol
+    config to set ``duration``; :meth:`build` seeds stochastic arrival
+    processes from the run seed.
+    """
+
+    kind: str = "static"
+    transactions: Optional[Tuple[Transaction, ...]] = None
+    count: Optional[int] = None
+    rate: float = 25.0
+    outstanding: int = 4
+    bursts: Tuple[Tuple[float, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; choose from {WORKLOAD_KINDS}"
+            )
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.outstanding < 1:
+            raise ValueError("outstanding must be at least 1")
+        if self.count is not None and self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.kind != "static" and (self.transactions is not None or self.count is not None):
+            raise ValueError("transactions/count only apply to the static workload")
+        if self.kind == "burst" and not self.bursts:
+            raise ValueError("burst workloads need a non-empty bursts schedule")
+        if self.transactions is not None:
+            object.__setattr__(self, "transactions", tuple(self.transactions))
+        if self.bursts:
+            object.__setattr__(
+                self, "bursts", tuple((float(t), int(c)) for t, c in self.bursts)
+            )
+            if any(t < 0 or c < 1 for t, c in self.bursts):
+                raise ValueError("burst entries must be (time >= 0, count >= 1)")
+
+    @property
+    def continuous(self) -> bool:
+        return self.kind != "static"
+
+    def build(self, config: ProtocolConfig, seed: str = "default") -> Workload:
+        """Materialise the workload for one run."""
+        if self.kind == "static":
+            if self.transactions is not None:
+                batch: Sequence[Transaction] = self.transactions
+            elif self.count is not None:
+                batch = make_transactions(self.count)
+            else:
+                batch = make_transactions(2 * config.block_size * config.max_rounds)
+            return StaticBatch(batch)
+        if config.duration is None:
+            raise ValueError(
+                f"the {self.kind!r} workload is continuous and needs config.duration"
+            )
+        if self.kind == "poisson":
+            return PoissonOpenLoop(self.rate, duration=config.duration, seed=seed)
+        if self.kind == "closed":
+            return ClosedLoop(self.outstanding, duration=config.duration)
+        return Burst(self.bursts, duration=config.duration)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified deployment, ready to ``run``.
+
+    The three required fields are the protocol triple (factory, roster,
+    config); each optional subsystem spec defaults to the paper's
+    baseline, so the minimal ``RunSpec(factory, players, config)``
+    reproduces the legacy ``run_consensus`` call byte for byte.
+    """
+
+    factory: ReplicaFactory
+    players: Tuple[Player, ...]
+    config: ProtocolConfig
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    crypto: CryptoSpec = field(default_factory=CryptoSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seed: str = "default"
+    max_time: float = 10_000.0
+    max_events: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "players", tuple(self.players))
+        ids = sorted(p.player_id for p in self.players)
+        if ids != list(range(self.config.n)):
+            raise ValueError("players must have ids 0..n-1 matching config.n")
+        if self.workload.continuous and self.config.duration is None:
+            raise ValueError(
+                f"the {self.workload.kind!r} workload is continuous: "
+                f"set config.duration to bound the run"
+            )
+        if self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+        if self.max_events < 1:
+            raise ValueError("max_events must be at least 1")
+
+    @property
+    def player_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(p.player_id for p in self.players))

@@ -50,6 +50,7 @@ class SimulationEngine:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
+        self._last_event_time = 0.0
         self._events_processed = 0
         self._live = 0
 
@@ -57,6 +58,17 @@ class SimulationEngine:
     def now(self) -> float:
         """The current virtual time."""
         return self._now
+
+    @property
+    def last_event_time(self) -> float:
+        """When the last event actually fired.
+
+        Unlike :attr:`now` — which :meth:`run` advances to its
+        ``until`` bound even when the queue drained long before — this
+        is the instant the simulation last *did* anything, i.e. the
+        quiesce time of a run that finished early.
+        """
+        return self._last_event_time
 
     @property
     def events_processed(self) -> int:
@@ -119,6 +131,7 @@ class SimulationEngine:
                 continue
             self._live -= 1
             self._now = event.time
+            self._last_event_time = event.time
             self._events_processed += 1
             event.callback()
             return True

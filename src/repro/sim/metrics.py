@@ -1,4 +1,4 @@
-"""Message-count and message-size accounting.
+"""Message, throughput and latency accounting.
 
 The paper's Figure 3 compares protocols by message complexity (O(n^2)
 vs O(n^3)) and message *size* (O(κ·n^3) vs O(κ·n^4)), where κ is the
@@ -6,13 +6,22 @@ security parameter.  The collector tallies, per message type, how many
 messages crossed the network and how many bytes of payload they carried
 under the κ-per-signature size model, so a sweep over n can recover the
 asymptotic exponents empirically.
+
+Continuous-workload runs (the pBFT/HotStuff evaluation framing:
+blocks/sec and commit latency under sustained client load) additionally
+record *when* each transaction became client-visible: the
+:class:`CommitLog` collects first-finalisation times as replicas commit
+blocks, and :func:`build_throughput_report` folds them together with the
+workload's submission schedule into a :class:`ThroughputReport` —
+blocks/sec, the per-transaction commit-latency distribution, and the
+client-side backlog (submitted but not yet committed) over time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -122,6 +131,179 @@ class MetricsCollector:
         count = sum(self._by_round[rnd].count for rnd in rounds) / len(rounds)
         size = sum(self._by_round[rnd].bytes for rnd in rounds) / len(rounds)
         return (count, size)
+
+
+# ----------------------------------------------------------------------
+# Commit observation (continuous-workload support)
+# ----------------------------------------------------------------------
+class CommitLog:
+    """First-finalisation times per transaction and per block digest.
+
+    Every replica reports each block it finalises via
+    :meth:`~repro.protocols.base.BaseReplica.note_block_finalized`; the
+    log keeps only the *first* observation per transaction / digest
+    from the observed player set (the deployment restricts it to the
+    honest roster, so a deviator's lone fork block never counts as a
+    client-visible commit).  Workloads may subscribe to first commits —
+    the closed-loop client uses that to keep its in-flight window full.
+
+    Recording is append-only and schedules no events, so legacy
+    static-batch runs are byte-identical with the log in place.
+    """
+
+    def __init__(self) -> None:
+        self._observed: Optional[FrozenSet[int]] = None
+        self._tx_first: Dict[str, float] = {}
+        self._block_first: Dict[str, float] = {}
+        self._listeners: List[Callable[[str, float], None]] = []
+
+    def restrict_to(self, player_ids: Iterable[int]) -> None:
+        """Only count finalisations reported by these players."""
+        self._observed = frozenset(player_ids)
+
+    def subscribe(self, listener: Callable[[str, float], None]) -> None:
+        """Call ``listener(tx_id, time)`` on each first transaction commit."""
+        self._listeners.append(listener)
+
+    def note(self, player_id: int, now: float, block: Any) -> None:
+        """Record one replica finalising one block."""
+        if self._observed is not None and player_id not in self._observed:
+            return
+        if block.digest not in self._block_first:
+            self._block_first[block.digest] = now
+        for tx in block.transactions:
+            if tx.tx_id in self._tx_first:
+                continue
+            self._tx_first[tx.tx_id] = now
+            for listener in self._listeners:
+                listener(tx.tx_id, now)
+
+    def first_commit(self, tx_id: str) -> Optional[float]:
+        return self._tx_first.get(tx_id)
+
+    def commit_times(self) -> Dict[str, float]:
+        """{tx_id: first finalisation time} over observed players."""
+        return dict(self._tx_first)
+
+    @property
+    def committed_transactions(self) -> int:
+        return len(self._tx_first)
+
+    @property
+    def committed_blocks(self) -> int:
+        return len(self._block_first)
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100) of an already-sorted sequence."""
+    if not ordered:
+        raise ValueError("percentile of no values")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Per-run throughput metrics of one continuous-workload execution.
+
+    ``horizon`` is the virtual-time span the rates are normalised over
+    (the configured duration, or the quiesce time when the run drained
+    early).  Latencies are per-transaction first-commit minus
+    submission time, over the transactions that committed; backlog is
+    the client-side count of submitted-but-uncommitted transactions,
+    sampled at every submission and first-commit instant.
+    """
+
+    horizon: float
+    blocks: int
+    submitted: int
+    committed: int
+    blocks_per_sec: float
+    latency_mean: float
+    latency_p50: float
+    latency_p99: float
+    latency_max: float
+    peak_backlog: int
+    final_backlog: int
+    backlog_series: Tuple[Tuple[float, int], ...] = ()
+
+    def summary(self) -> Dict[str, float]:
+        """The flat scalar projection (everything but the series)."""
+        return {
+            "horizon": self.horizon,
+            "blocks": self.blocks,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "blocks_per_sec": self.blocks_per_sec,
+            "latency_mean": self.latency_mean,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+            "peak_backlog": self.peak_backlog,
+            "final_backlog": self.final_backlog,
+        }
+
+
+def build_throughput_report(
+    submissions: Sequence[Tuple[str, float]],
+    commit_times: Mapping[str, float],
+    blocks: int,
+    horizon: float,
+) -> ThroughputReport:
+    """Fold a workload's submission schedule and the commit log into a
+    :class:`ThroughputReport`.
+
+    Args:
+        submissions: ordered ``(tx_id, submit_time)`` pairs.
+        commit_times: ``{tx_id: first commit time}`` (the commit log).
+        blocks: finalized blocks on the longest honest chain.
+        horizon: the virtual-time span to normalise rates over.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    latencies = sorted(
+        commit_times[tx_id] - submitted_at
+        for tx_id, submitted_at in submissions
+        if tx_id in commit_times
+    )
+    # Backlog walk: +1 at each submission, -1 at each commit of a
+    # submitted tx.  Ties resolve commits first: a transaction needs at
+    # least one network delay to commit, so a commit and a submission
+    # at the same instant are causally commit-then-submit (the
+    # closed-loop client tops up its window *in reaction to* commits).
+    edges: List[Tuple[float, int, int]] = []
+    for tx_id, submitted_at in submissions:
+        edges.append((submitted_at, 1, 1))
+        if tx_id in commit_times:
+            edges.append((commit_times[tx_id], 0, -1))
+    edges.sort()
+    series: List[Tuple[float, int]] = []
+    backlog = peak = 0
+    for when, _, delta in edges:
+        backlog += delta
+        if series and series[-1][0] == when:
+            series[-1] = (when, backlog)
+        else:
+            series.append((when, backlog))
+        peak = max(peak, backlog)
+    return ThroughputReport(
+        horizon=horizon,
+        blocks=blocks,
+        submitted=len(submissions),
+        committed=len(latencies),
+        blocks_per_sec=blocks / horizon,
+        latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
+        latency_p50=_percentile(latencies, 50) if latencies else 0.0,
+        latency_p99=_percentile(latencies, 99) if latencies else 0.0,
+        latency_max=latencies[-1] if latencies else 0.0,
+        peak_backlog=peak,
+        final_backlog=backlog,
+        backlog_series=tuple(series),
+    )
 
 
 def fit_exponent(sizes: List[int], values: List[float]) -> float:

@@ -1,0 +1,31 @@
+"""Client workloads: traffic as a first-class subsystem.
+
+The modules layer as::
+
+    base        — the Workload protocol, submission plumbing
+    static      — StaticBatch (legacy pre-loaded batch, the default)
+    openloop    — PoissonOpenLoop(rate), Burst(schedule)
+    closedloop  — ClosedLoop(outstanding)
+
+Workloads are built from a declarative
+:class:`~repro.protocols.spec.WorkloadSpec` and installed into a
+deployment before the replicas start; see :mod:`repro.workloads.base`
+for the execution model and determinism contract.
+"""
+
+from repro.workloads.base import Workload, make_transactions
+from repro.workloads.closedloop import ClosedLoop
+from repro.workloads.openloop import Burst, PoissonOpenLoop
+from repro.workloads.static import StaticBatch
+
+WORKLOAD_KINDS = ("static", "poisson", "closed", "burst")
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "Workload",
+    "make_transactions",
+    "StaticBatch",
+    "PoissonOpenLoop",
+    "Burst",
+    "ClosedLoop",
+]

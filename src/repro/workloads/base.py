@@ -1,0 +1,106 @@
+"""The client-workload protocol: traffic as first-class engine events.
+
+A :class:`Workload` models the clients of the deployment.  It is
+installed into a run *before* the replicas start and schedules client
+submissions as ordinary engine events, so traffic interleaves with
+protocol messages deterministically: one (scenario, seed) pair always
+replays the identical arrival sequence, whatever the worker count.
+
+Submissions are broadcast to every replica's mempool (clients gossip to
+the whole committee, the model under which Definition 1's censorship
+clause — "input to all honest players" — is stated).  The workload
+records each submission's time, and the deployment's
+:class:`~repro.sim.metrics.CommitLog` records each transaction's first
+honest finalisation, which together yield the run's
+:class:`~repro.sim.metrics.ThroughputReport`.
+
+The round loop consults :meth:`Workload.finished` for the *quiesce*
+half of the continuous stop rule: a replica on a duration-driven run
+halts early once the arrival process is exhausted and its own backlog
+has drained (see :meth:`repro.protocols.base.BaseReplica.round_limit_reached`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.ledger.transaction import Transaction
+
+
+def make_transactions(count: int, prefix: str = "tx") -> List[Transaction]:
+    """A simple deterministic client batch (the legacy default)."""
+    return [Transaction(tx_id=f"{prefix}-{index}", payload=f"payload-{index}") for index in range(count)]
+
+
+class Workload(ABC):
+    """One client arrival process, bound to a deployment at install time.
+
+    Subclasses implement :meth:`_start` (schedule or perform the first
+    submissions) and :meth:`finished`; the base class owns transaction
+    naming, the submission record and the broadcast to every replica.
+    """
+
+    #: short tag, also the generated transaction id prefix
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self._submissions: List[Tuple[str, float]] = []
+        self._engine: Any = None
+        self._replicas: Dict[int, Any] = {}
+        self._counter = 0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self, ctx: Any, replicas: Dict[int, Any]) -> None:
+        """Bind to a deployment and begin the arrival process.
+
+        Called once by the :class:`~repro.protocols.runner.Deployment`,
+        after replicas are constructed and before any of them starts.
+        """
+        if self._installed:
+            raise RuntimeError("a workload instance can only be installed once")
+        self._installed = True
+        self._engine = ctx.engine
+        self._replicas = dict(replicas)
+        self._start(ctx)
+
+    @abstractmethod
+    def _start(self, ctx: Any) -> None:
+        """Perform install-time submissions / schedule arrival events."""
+
+    @abstractmethod
+    def finished(self, now: float) -> bool:
+        """True once no further arrival can ever occur (quiesce hook)."""
+
+    # ------------------------------------------------------------------
+    # Submission plumbing
+    # ------------------------------------------------------------------
+    def _next_transaction(self) -> Transaction:
+        index = self._counter
+        self._counter += 1
+        return Transaction(tx_id=f"{self.kind}-{index}", payload=f"payload-{index}")
+
+    def submit(self, transactions: Sequence[Transaction]) -> None:
+        """Record and broadcast a batch of client transactions."""
+        now = self._engine.now
+        for tx in transactions:
+            self._submissions.append((tx.tx_id, now))
+        for player_id in sorted(self._replicas):
+            self._replicas[player_id].submit_transactions(list(transactions))
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def submissions(self) -> List[Tuple[str, float]]:
+        """Ordered ``(tx_id, submit_time)`` pairs so far."""
+        return list(self._submissions)
+
+    def submitted_ids(self) -> List[str]:
+        return [tx_id for tx_id, _ in self._submissions]
+
+    @property
+    def submitted_count(self) -> int:
+        return len(self._submissions)

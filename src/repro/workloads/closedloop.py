@@ -1,0 +1,51 @@
+"""Closed-loop client traffic: a fixed in-flight window.
+
+A closed-loop client keeps exactly ``outstanding`` transactions in
+flight: it submits the initial window up front and replaces each
+transaction the moment the committee first commits it (observed via the
+deployment's :class:`~repro.sim.metrics.CommitLog`).  Throughput is
+therefore *service-rate limited* — backlog can never exceed the window,
+and blocks/sec measures how fast the committee turns the window over —
+the complement of the open-loop saturation measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+from repro.workloads.base import Workload
+
+
+class ClosedLoop(Workload):
+    """``outstanding`` transactions in flight, topped up on commit."""
+
+    kind = "closed"
+
+    def __init__(self, outstanding: int, duration: float) -> None:
+        super().__init__()
+        if outstanding < 1:
+            raise ValueError("outstanding must be at least 1")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.outstanding = outstanding
+        self.duration = duration
+        self._mine: Set[str] = set()
+
+    def _start(self, ctx: Any) -> None:
+        ctx.commit_log.subscribe(self._on_commit)
+        self.submit([self._tracked_transaction() for _ in range(self.outstanding)])
+
+    def _tracked_transaction(self):
+        tx = self._next_transaction()
+        self._mine.add(tx.tx_id)
+        return tx
+
+    def _on_commit(self, tx_id: str, now: float) -> None:
+        # One replacement per committed window slot, while the clock
+        # still runs; commits of someone else's traffic are ignored.
+        if tx_id not in self._mine or now >= self.duration:
+            return
+        self.submit([self._tracked_transaction()])
+
+    def finished(self, now: float) -> bool:
+        return False

@@ -1,0 +1,101 @@
+"""Open-loop arrival processes: Poisson traffic and burst schedules.
+
+Open-loop clients submit on their own clock, independent of how fast
+the committee commits — the framing under which pBFT's and HotStuff's
+throughput evaluations are stated, and the regime where mempool backlog
+grows without bound once the arrival rate crosses the deployment's
+service rate (the saturation knee `bench_throughput` charts).
+
+Both processes are driven entirely by engine events seeded from the run
+seed: :class:`PoissonOpenLoop` draws exponential inter-arrival gaps
+from a dedicated ``random.Random``, lazily scheduling each arrival from
+the previous one; :class:`Burst` schedules fixed-size batches at fixed
+virtual times.  Either way the same (scenario, seed) pair replays the
+identical arrival sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence, Tuple
+
+from repro.workloads.base import Workload
+
+
+class PoissonOpenLoop(Workload):
+    """Memoryless client traffic at ``rate`` transactions per time unit.
+
+    Arrivals stop at ``duration``; the run then drains what is already
+    in flight and quiesces.
+    """
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, duration: float, seed: str = "default") -> None:
+        super().__init__()
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = rate
+        self.duration = duration
+        self._rng = random.Random(f"poisson-workload/{seed}")
+        self._exhausted = False
+
+    def _start(self, ctx: Any) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._rng.expovariate(self.rate)
+        if self._engine.now + gap >= self.duration:
+            self._exhausted = True
+            return
+        self._engine.schedule(gap, self._arrive, label="poisson-arrival")
+
+    def _arrive(self) -> None:
+        self.submit([self._next_transaction()])
+        self._schedule_next()
+
+    def finished(self, now: float) -> bool:
+        return self._exhausted
+
+
+class Burst(Workload):
+    """Batches of transactions at fixed virtual times.
+
+    ``schedule`` is a sequence of ``(time, count)`` entries; bursts at
+    or beyond ``duration`` are dropped (arrivals stop at the duration,
+    like every continuous workload).
+    """
+
+    kind = "burst"
+
+    def __init__(self, schedule: Sequence[Tuple[float, int]], duration: float) -> None:
+        super().__init__()
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        entries = []
+        for when, count in schedule:
+            when, count = float(when), int(count)
+            if when < 0:
+                raise ValueError("burst times must be non-negative")
+            if count < 1:
+                raise ValueError("burst counts must be at least 1")
+            if when < duration:
+                entries.append((when, count))
+        if not entries:
+            raise ValueError("burst schedule has no bursts before the duration")
+        self.schedule = tuple(sorted(entries))
+        self.duration = duration
+        self._pending_bursts = len(self.schedule)
+
+    def _start(self, ctx: Any) -> None:
+        for when, count in self.schedule:
+            self._engine.schedule_at(when, lambda c=count: self._burst(c), label="burst-arrival")
+
+    def _burst(self, count: int) -> None:
+        self.submit([self._next_transaction() for _ in range(count)])
+        self._pending_bursts -= 1
+
+    def finished(self, now: float) -> bool:
+        return self._pending_bursts == 0
