@@ -6,7 +6,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput example clean
+.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees large-n-smoke example clean
 
 check: test smoke catalog-check
 	@echo "check: OK"
@@ -64,6 +64,23 @@ bench-network:
 # BENCH_throughput.json.
 bench-throughput:
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py --benchmark-only -s
+
+# Big-committee scaling with aggregate quorum certificates (E18):
+# blocks/sec + p99 latency vs n up to 256, plus the off-vs-on
+# conformance comparison at n=64.  Appends to BENCH_throughput.json.
+bench-big-committees:
+	$(PYTHON) -m pytest benchmarks/bench_big_committees.py --benchmark-only -s
+
+# One n=64 run per protocol through the real CLI with aggregate
+# certificates on the wire and the trace oracle checking every
+# invariant (exit 1 on violation).  The tier-1 suite keeps a faster
+# in-process n=64 smoke; this drives the end-to-end path CI runs.
+large-n-smoke:
+	$(PYTHON) -m repro.cli run honest --protocol prft -n 64 --rounds 1 --aggregate-certs --check
+	$(PYTHON) -m repro.cli run honest --protocol pbft -n 64 --rounds 1 --aggregate-certs --check
+	$(PYTHON) -m repro.cli run honest --protocol hotstuff -n 64 --rounds 1 --aggregate-certs --check
+	$(PYTHON) -m repro.cli run honest --protocol polygraph -n 64 --rounds 1 --aggregate-certs --check
+	$(PYTHON) -m repro.cli run honest --protocol trap -n 64 --rounds 1 --aggregate-certs --check
 
 example:
 	$(PYTHON) examples/sweep_quickstart.py

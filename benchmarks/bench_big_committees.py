@@ -1,0 +1,138 @@
+"""E18 — big-committee scaling with aggregate quorum certificates.
+
+pRFT's justification payloads are its scalability wall: every Commit
+carries the full vote quorum and every Reveal the full commit quorum,
+so wire bytes per phase grow O(κ·n) per message — O(κ·n^3) across the
+committee.  The ``aggregate_certs`` crypto axis replaces the statement
+sets with one :class:`~repro.crypto.aggregate.AggregateQC` (canonical
+digest + signer bitmap + aggregate tag).  This harness measures what
+the representation buys at committee sizes the catalog never reaches:
+
+- **n-curve** — closed-loop pRFT throughput (blocks/sec) and commit
+  latency p99 at n ∈ {16, 32, 64, 128, 256} with aggregation on,
+  recorded into ``BENCH_throughput.json``;
+- **representation comparison at n = 64** — the identical (scenario,
+  seed) with aggregation off vs on: commit logs must match exactly
+  (the differential conformance property, re-checked here at a size
+  the test tier only smoke-tests) while justification bytes shrink;
+- **robustness** — every curve point must keep agreement + eventual
+  liveness (big committees are still the same protocol).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) stops the curve at n = 64 and
+shortens the measurement window; the conformance and robustness
+assertions hold in smoke mode too.
+"""
+
+import time
+from typing import Dict, List
+
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.experiments.registry import Scenario
+
+from benchmarks.bench_results import record_bench
+from benchmarks.helpers import once, smoke_mode
+
+N_CURVE = (16, 32, 64) if smoke_mode() else (16, 32, 64, 128, 256)
+DURATION = 10.0 if smoke_mode() else 20.0
+COMPARE_N = 64
+
+
+def _scenario(n: int, aggregate: bool, duration: float = DURATION) -> Scenario:
+    return Scenario(
+        name=f"big-committee-{n}",
+        n=n,
+        workload="closed",
+        outstanding=4,
+        duration=duration,
+        timeout=10.0,
+        max_time=200.0,
+        max_events=8_000_000,
+        aggregate_certs=aggregate,
+    )
+
+
+def _experiment():
+    started = time.perf_counter()
+    measurements: Dict[str, object] = {}
+
+    # 1. Blocks/sec + latency p99 vs n, aggregation on.
+    curve: List[Dict[str, object]] = []
+    for n in N_CURVE:
+        point_started = time.perf_counter()
+        result = _scenario(n, aggregate=True).run(seed=0)
+        throughput = result.throughput
+        verdict = check_robustness(result)
+        curve.append({
+            "n": n,
+            "blocks_per_sec": round(throughput.blocks_per_sec, 4),
+            "latency_p99": round(throughput.latency_p99, 2),
+            "messages": result.metrics.total_messages,
+            "bytes": result.metrics.total_bytes,
+            "agreement": verdict.agreement,
+            "eventual_liveness": verdict.eventual_liveness,
+            "wall_seconds": round(time.perf_counter() - point_started, 2),
+        })
+    measurements["n_curve"] = curve
+
+    # 2. Off-vs-on conformance + byte savings at n = 64.
+    off = _scenario(COMPARE_N, aggregate=False).run(seed=0)
+    on = _scenario(COMPARE_N, aggregate=True).run(seed=0)
+    measurements["comparison_n64"] = {
+        "commit_logs_identical": (
+            off.ctx.commit_log.commit_times() == on.ctx.commit_log.commit_times()
+        ),
+        "messages_identical": (
+            off.metrics.total_messages == on.metrics.total_messages
+        ),
+        "bytes_off": off.metrics.total_bytes,
+        "bytes_on": on.metrics.total_bytes,
+        "bytes_ratio": round(on.metrics.total_bytes / off.metrics.total_bytes, 4),
+    }
+
+    measurements["wall_seconds"] = round(time.perf_counter() - started, 3)
+    return measurements
+
+
+def test_big_committees(benchmark):
+    measured = once(benchmark, _experiment)
+
+    rows = []
+    for point in measured["n_curve"]:
+        rows.append([
+            f"n={point['n']}",
+            f"bps={point['blocks_per_sec']} p99={point['latency_p99']} "
+            f"msgs={point['messages']} bytes={point['bytes']} "
+            f"({point['wall_seconds']}s)",
+        ])
+    comparison = measured["comparison_n64"]
+    rows.append([
+        f"n={COMPARE_N} off vs on",
+        f"commit-logs-identical={comparison['commit_logs_identical']} "
+        f"bytes {comparison['bytes_off']} -> {comparison['bytes_on']} "
+        f"(x{comparison['bytes_ratio']})",
+    ])
+    rows.append(["wall time (s)", measured["wall_seconds"]])
+    print()
+    print(render_table(
+        ["quantity", "value"], rows, title="E18: big committees (aggregate QCs)"
+    ))
+
+    path = record_bench("throughput", {"big_committee": measured})
+    print(f"trajectory appended to {path}")
+
+    # Correctness gates (hold in smoke mode too — nothing here is timed).
+    for point in measured["n_curve"]:
+        assert point["blocks_per_sec"] > 0, f"n={point['n']} never committed"
+        assert point["agreement"], f"n={point['n']} broke agreement"
+        assert point["eventual_liveness"], f"n={point['n']} broke liveness"
+    assert comparison["commit_logs_identical"], (
+        "aggregate certificates changed the commit log — the axis must be "
+        "a pure representation change"
+    )
+    assert comparison["messages_identical"], (
+        "aggregate certificates changed the message count"
+    )
+    assert comparison["bytes_on"] < comparison["bytes_off"], (
+        "aggregation must shrink pRFT justification traffic"
+    )

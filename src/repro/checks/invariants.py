@@ -23,8 +23,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.robustness import check_robustness
-from repro.core.messages import SignedStatement, verify_statement
+from repro.core.messages import SignedStatement, statement_value, verify_statement
 from repro.core.pof import FraudProof
+from repro.crypto.aggregate import AggregateQC
 from repro.ledger.chain import ConfirmationStatus
 from repro.ledger.validation import (
     chains_agree,
@@ -448,7 +449,14 @@ class QuorumCertificateChecker(InvariantChecker):
     (Figure 2b's binding of phase+round into every signed statement).
     Duck-typed so any protocol whose round state keeps
     ``digest → {signer: SignedStatement}`` maps is covered; others are
-    vacuously fine."""
+    vacuously fine.
+
+    Under the ``aggregate_certs`` axis quorum evidence may instead be
+    retained as an :class:`AggregateQC` (one digest + signer bitmap +
+    aggregate tag): any aggregate found in round state — directly, as
+    the ``aggregate`` of a certificate object, or as a value of a
+    per-digest map — must verify against the trusted setup and pin the
+    state's round."""
 
     name = "quorum-certs"
 
@@ -478,6 +486,45 @@ class QuorumCertificateChecker(InvariantChecker):
                         violations.extend(self._check_map(
                             ctx, pid, attr, round_number, digest, by_signer, registry,
                         ))
+                violations.extend(self._check_aggregates(
+                    pid, round_number, state, registry,
+                ))
+        return violations
+
+    def _check_aggregates(
+        self,
+        pid: int,
+        round_number: Optional[int],
+        state: Any,
+        registry: Any,
+    ) -> List[Violation]:
+        """Validate every aggregate certificate retained in round state."""
+        violations: List[Violation] = []
+        for attr, value in vars(state).items():
+            found: List[AggregateQC] = []
+            if isinstance(value, AggregateQC):
+                found.append(value)
+            elif isinstance(getattr(value, "aggregate", None), AggregateQC):
+                found.append(value.aggregate)
+            elif isinstance(value, dict):
+                found.extend(v for v in value.values() if isinstance(v, AggregateQC))
+            for aggregate in found:
+                ok = (
+                    aggregate.signer_count >= 1
+                    and (round_number is None or aggregate.round_number == round_number)
+                    and registry.verify_aggregate(
+                        aggregate,
+                        statement_value(
+                            aggregate.phase, aggregate.round_number, aggregate.digest
+                        ),
+                    )
+                )
+                if not ok:
+                    violations.append(_violation(
+                        self.name,
+                        "retained aggregate certificate is malformed or unverifiable",
+                        holder=pid, slot=attr, round=round_number,
+                    ))
         return violations
 
     def _check_map(

@@ -144,6 +144,12 @@ def _add_run_arguments(
              "keep opening slots until it elapses or the load quiesces)",
     )
     parser.add_argument(
+        "--aggregate-certs", action="store_true",
+        help="carry quorum certificates as aggregate signatures (one "
+             "digest + signer bitmap + tag) instead of n signed "
+             "statements — a pure wire-format change",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="run the trace oracle post-hoc and print its invariant "
              "verdicts (exit status 1 on a violation)",
@@ -358,6 +364,7 @@ def scenario_from_args(args: argparse.Namespace) -> Scenario:
             duplicate_rate=getattr(args, "duplicate_rate", 0.0),
             reorder_jitter=getattr(args, "reorder_jitter", 0.0),
             crash_spec=parse_crash_specs(getattr(args, "crash", [])),
+            aggregate_certs=getattr(args, "aggregate_certs", False),
             max_time=1_000.0,
         )
     except ValueError as error:
@@ -454,6 +461,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             scenario = scenario.with_params(**overrides)
         except ValueError as error:
             raise SystemExit(str(error))
+    if getattr(args, "aggregate_certs", False) and not scenario.aggregate_certs:
+        scenario = scenario.with_params(aggregate_certs=True)
     if getattr(args, "check", False) and not scenario.check_invariants:
         scenario = scenario.with_params(check_invariants=True)
     result = scenario.run(seed=seed)

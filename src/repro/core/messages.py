@@ -14,6 +14,15 @@ Reveal also carry the proposed block body so that players cut off
 behind a partition can adopt the decided block once messages flow
 again (the paper's "all messages from a round are eventually delivered
 before the next GST", Theorem 5 proof).
+
+Behind the ``aggregate_certs`` deployment axis, a justification may
+instead be a single :class:`~repro.crypto.aggregate.AggregateQC` — one
+tag plus a signer bitmap, O(κ + n/8) on the wire.  The
+``Justification`` helpers in this module (build / size / verify /
+expand) are the only places that dispatch on the representation, so
+protocol code treats both shapes uniformly and the representations
+stay behaviourally identical (the differential conformance suite's
+contract).
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, FrozenSet, Iterable, Optional, Tuple, Union
 
+from repro.crypto.aggregate import AggregateQC, aggregate_statements
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 from repro.crypto.registry import KeyRegistry
@@ -182,6 +192,123 @@ def verify_quorum(
 
 
 # ----------------------------------------------------------------------
+# Justifications: either the classic statement set or an AggregateQC.
+# ----------------------------------------------------------------------
+Justification = Union[FrozenSet[SignedStatement], AggregateQC]
+"""A quorum justification in either wire representation."""
+
+
+def build_justification(
+    statements: Iterable[SignedStatement], aggregate: bool
+) -> Justification:
+    """Package a quorum for the wire in the deployment's representation.
+
+    With ``aggregate`` off this is the historical frozenset of
+    statements; with it on, a single :class:`AggregateQC`.  Callers
+    pass digest-uniform quorums, so aggregation never raises here.
+    """
+    pool = frozenset(statements)
+    if not aggregate:
+        return pool
+    return aggregate_statements(pool)
+
+
+def justification_size(justification: Justification) -> int:
+    """Wire bytes of a justification in either representation."""
+    if isinstance(justification, AggregateQC):
+        return justification.size_bytes
+    return sum(statement.size_bytes for statement in justification)
+
+
+def verify_justification(
+    registry: KeyRegistry,
+    justification: Justification,
+    *,
+    phase: str,
+    round_number: int,
+    digest: str,
+    minimum: int = 1,
+) -> bool:
+    """Check a justification against its pinned statement value.
+
+    Statement sets take the batched :func:`verify_quorum` path; an
+    :class:`AggregateQC` is checked structurally (same pin, enough
+    bitmap members) and then cryptographically in one
+    :meth:`~repro.crypto.registry.KeyRegistry.verify_aggregate` call.
+    """
+    if isinstance(justification, AggregateQC):
+        if (
+            justification.phase != phase
+            or justification.round_number != round_number
+            or justification.digest != digest
+        ):
+            return False
+        if justification.signer_count < minimum:
+            return False
+        return registry.verify_aggregate(
+            justification, statement_value(phase, round_number, digest)
+        )
+    return verify_quorum(
+        registry,
+        justification,
+        phase=phase,
+        round_number=round_number,
+        digest=digest,
+        minimum=minimum,
+    )
+
+
+def expand_aggregate(
+    registry: KeyRegistry, aggregate: AggregateQC
+) -> Tuple[SignedStatement, ...]:
+    """Reconstruct the per-signer statements behind a *verified* aggregate.
+
+    Signature tags are deterministic functions of (secret, value), so
+    re-signing the aggregate's statement value with each bitmap
+    member's trusted-setup key reproduces the exact statements that
+    were aggregated — which is what keeps Proof-of-Fraud extraction
+    working on bitmap-only wire formats.  This is only sound *after*
+    ``verify_aggregate`` has succeeded: expanding an unverified
+    aggregate would fabricate signatures for players who never signed,
+    framing honest bitmap members.  The expansion is memoized on the
+    (frozen) aggregate instance.
+    """
+    cached = aggregate.__dict__.get("_expanded")
+    if cached is None:
+        cached = tuple(
+            SignedStatement(
+                phase=aggregate.phase,
+                round_number=aggregate.round_number,
+                digest=aggregate.digest,
+                signature=sign(
+                    registry.keypair_of(signer),
+                    statement_value(
+                        aggregate.phase, aggregate.round_number, aggregate.digest
+                    ),
+                ),
+            )
+            for signer in aggregate.signers
+        )
+        object.__setattr__(aggregate, "_expanded", cached)
+    return cached
+
+
+def justification_statements(
+    registry: KeyRegistry, justification: Justification
+) -> Tuple[SignedStatement, ...]:
+    """The individual statements of a justification, expanding aggregates.
+
+    Aggregate inputs must already be verified (see
+    :func:`expand_aggregate`); statement sets are returned as-is,
+    unverified, exactly like the per-statement absorption loops this
+    feeds did historically.
+    """
+    if isinstance(justification, AggregateQC):
+        return expand_aggregate(registry, justification)
+    return tuple(justification)
+
+
+# ----------------------------------------------------------------------
 # Protocol messages.  Each exposes .round_number and (where meaningful)
 # .digest, which strategies use to route equivocating broadcasts.
 # ----------------------------------------------------------------------
@@ -227,10 +354,15 @@ class VoteMessage:
 
 @dataclass(frozen=True)
 class CommitMessage:
-    """⟨Commit, h*, s^pro_l, V_i, r⟩: commit plus the vote quorum V_i."""
+    """⟨Commit, h*, s^pro_l, V_i, r⟩: commit plus the vote quorum V_i.
+
+    ``votes`` is the justification in either wire representation: the
+    full statement set, or an :class:`AggregateQC` under the
+    ``aggregate_certs`` axis.
+    """
 
     statement: SignedStatement
-    votes: FrozenSet[SignedStatement]
+    votes: Justification
     block: Optional[Any] = None
 
     @property
@@ -244,15 +376,19 @@ class CommitMessage:
     @property
     def size_bytes(self) -> int:
         block_size = self.block.size_estimate_bytes if self.block is not None else 0
-        return self.statement.size_bytes + sum(v.size_bytes for v in self.votes) + block_size
+        return self.statement.size_bytes + justification_size(self.votes) + block_size
 
 
 @dataclass(frozen=True)
 class RevealMessage:
-    """⟨Reveal, h_tc, h_l, W_i, r⟩: the Proof-of-Commitment W_i."""
+    """⟨Reveal, h_tc, h_l, W_i, r⟩: the Proof-of-Commitment W_i.
+
+    ``commits`` is the justification in either wire representation,
+    like :class:`CommitMessage.votes`.
+    """
 
     statement: SignedStatement
-    commits: FrozenSet[SignedStatement]
+    commits: Justification
     block: Optional[Any] = None
 
     @property
@@ -266,7 +402,7 @@ class RevealMessage:
     @property
     def size_bytes(self) -> int:
         block_size = self.block.size_estimate_bytes if self.block is not None else 0
-        return self.statement.size_bytes + sum(c.size_bytes for c in self.commits) + block_size
+        return self.statement.size_bytes + justification_size(self.commits) + block_size
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.messages import KAPPA, SignedStatement, verify_quorum, verify_statement
+from repro.core.messages import (
+    KAPPA,
+    SignedStatement,
+    expand_aggregate,
+    statement_value,
+    verify_quorum,
+    verify_statement,
+)
+from repro.crypto.aggregate import AggregateQC
 from repro.crypto.registry import KeyRegistry
 
 
@@ -131,6 +139,10 @@ class FraudDetector:
     registry: Optional[KeyRegistry] = None
     _seen: Dict[Tuple[int, str, int], Dict[str, SignedStatement]] = field(default_factory=dict)
     _proofs: Dict[int, FraudProof] = field(default_factory=dict)
+    # (round, phase, digest) → bitmap of signers already absorbed from
+    # aggregate certificates; the memo behind absorb_aggregate's O(1)
+    # re-absorption of circulating certs.
+    _absorbed_aggregates: Dict[Tuple[int, str, str], int] = field(default_factory=dict)
 
     def absorb(self, statement: SignedStatement) -> Optional[FraudProof]:
         """Add one statement; return a new proof if it exposes fraud."""
@@ -154,6 +166,42 @@ class FraudDetector:
         """Absorb many; return the newly constructed proofs."""
         fresh = []
         for statement in statements:
+            proof = self.absorb(statement)
+            if proof is not None:
+                fresh.append(proof)
+        return fresh
+
+    def absorb_aggregate(self, aggregate: AggregateQC) -> List[FraudProof]:
+        """Absorb an aggregate certificate's per-signer evidence.
+
+        Verifies the aggregate first (an invalid one contributes no
+        evidence and, crucially, never frames the honest players its
+        forged bitmap names), then expands only the signers this
+        detector has not yet absorbed for the certificate's
+        (round, phase, digest) slot — a bitmap memo that makes the
+        n-fold re-absorption of a circulating certificate O(1) after
+        the first sight.  Requires a registry: without the trusted
+        setup neither verification nor expansion is possible.
+        """
+        if self.registry is None:
+            raise ValueError("absorb_aggregate needs a registry for verification")
+        key = (aggregate.round_number, aggregate.phase, aggregate.digest)
+        seen_bitmap = self._absorbed_aggregates.get(key, 0)
+        fresh_bitmap = aggregate.signer_bitmap & ~seen_bitmap
+        if not fresh_bitmap:
+            return []
+        if not self.registry.verify_aggregate(
+            aggregate,
+            statement_value(
+                aggregate.phase, aggregate.round_number, aggregate.digest
+            ),
+        ):
+            return []
+        self._absorbed_aggregates[key] = seen_bitmap | aggregate.signer_bitmap
+        fresh: List[FraudProof] = []
+        for statement in expand_aggregate(self.registry, aggregate):
+            if not (fresh_bitmap >> statement.signer) & 1:
+                continue
             proof = self.absorb(statement)
             if proof is not None:
                 fresh.append(proof)

@@ -39,6 +39,7 @@ from repro.core.messages import (
     CommitViewMessage,
     ExposeMessage,
     FinalMessage,
+    Justification,
     KAPPA,
     Phase,
     ProposeMessage,
@@ -46,10 +47,12 @@ from repro.core.messages import (
     SignedStatement,
     ViewChangeMessage,
     VoteMessage,
+    build_justification,
     make_statement,
-    verify_quorum,
+    verify_justification,
     verify_statement,
 )
+from repro.crypto.aggregate import AggregateQC
 from repro.core.pof import FraudDetector, FraudProof
 from repro.ledger.block import Block
 from repro.ledger.transaction import Transaction
@@ -247,6 +250,27 @@ class PRFTReplica(BaseReplica):
         if proof is not None:
             self._punish(proof)
 
+    def _absorb_aggregate(self, aggregate: AggregateQC) -> None:
+        """Feed an aggregate certificate's signers to the detector.
+
+        The detector verifies before expanding (so a forged bitmap
+        never frames honest players) and memoizes absorbed signer
+        bitmaps per slot, making the n-fold re-absorption of a
+        circulating certificate O(1) after first sight.
+        """
+        if aggregate.phase not in _FRAUD_PHASES:
+            return
+        for proof in self.detector.absorb_aggregate(aggregate):
+            self._punish(proof)
+
+    def _absorb_justification(self, justification: Justification) -> None:
+        """Absorb a message's quorum justification in either shape."""
+        if isinstance(justification, AggregateQC):
+            self._absorb_aggregate(justification)
+            return
+        for statement in justification:
+            self._absorb_statement(statement)
+
     def _punish(self, proof: FraudProof) -> None:
         """Burn a freshly proven double-signer's collateral.
 
@@ -287,7 +311,9 @@ class PRFTReplica(BaseReplica):
             self._absorb_statement(statement)
         for attr in ("votes", "commits"):
             justification = getattr(payload, attr, None)
-            if justification:
+            if isinstance(justification, AggregateQC):
+                self._absorb_aggregate(justification)
+            elif justification:
                 for stmt in justification:
                     if verify_statement(self.ctx.registry, stmt):
                         self._absorb_statement(stmt)
@@ -485,7 +511,9 @@ class PRFTReplica(BaseReplica):
         commit_statement = make_statement(self.keypair, Phase.COMMIT.value, round_number, digest)
         commit = CommitMessage(
             statement=commit_statement,
-            votes=frozenset(state.votes[digest].values()),
+            votes=build_justification(
+                state.votes[digest].values(), self.ctx.aggregate_certs
+            ),
             block=state.blocks.get(digest),
         )
         self.trace("commit", round=round_number, digest=digest[:12])
@@ -510,8 +538,7 @@ class PRFTReplica(BaseReplica):
         if not self._justification_valid(message.votes, Phase.VOTE.value, round_number, digest):
             return
         self._absorb_statement(statement)
-        for vote_statement in message.votes:
-            self._absorb_statement(vote_statement)
+        self._absorb_justification(message.votes)
         if message.block is not None and message.block.digest == digest:
             state.blocks.setdefault(digest, message.block)
         state.commits.setdefault(digest, {})[sender] = statement
@@ -527,7 +554,9 @@ class PRFTReplica(BaseReplica):
         reveal_statement = make_statement(self.keypair, Phase.REVEAL.value, round_number, digest)
         reveal = RevealMessage(
             statement=reveal_statement,
-            commits=frozenset(state.commits[digest].values()),
+            commits=build_justification(
+                state.commits[digest].values(), self.ctx.aggregate_certs
+            ),
             block=state.blocks.get(digest),
         )
         self.broadcast(
@@ -540,16 +569,17 @@ class PRFTReplica(BaseReplica):
 
     def _justification_valid(
         self,
-        statements: FrozenSet[SignedStatement],
+        justification: Justification,
         phase: str,
         round_number: int,
         digest: str,
     ) -> bool:
         """A quorum certificate must hold ≥ τ valid, distinct-signer
-        signatures on the right (phase, round, digest)."""
-        return verify_quorum(
+        signatures on the right (phase, round, digest) — as a statement
+        set or as one aggregate certificate."""
+        return verify_justification(
             self.ctx.registry,
-            statements,
+            justification,
             phase=phase,
             round_number=round_number,
             digest=digest,
@@ -579,8 +609,7 @@ class PRFTReplica(BaseReplica):
         if not self._justification_valid(message.commits, Phase.COMMIT.value, round_number, digest):
             return
         self._absorb_statement(statement)
-        for commit_statement in message.commits:
-            self._absorb_statement(commit_statement)
+        self._absorb_justification(message.commits)
         if message.block is not None and message.block.digest == digest:
             state.blocks.setdefault(digest, message.block)
         state.reveal_senders.setdefault(digest, set()).add(sender)
@@ -754,7 +783,7 @@ class PRFTReplica(BaseReplica):
             statement = make_statement(self.keypair, Phase.COMMIT.value, round_number, digest)
             commit = CommitMessage(
                 statement=statement,
-                votes=frozenset(votes.values()),
+                votes=build_justification(votes.values(), self.ctx.aggregate_certs),
                 block=state.blocks.get(digest),
             )
             self.broadcast(
@@ -771,7 +800,7 @@ class PRFTReplica(BaseReplica):
             statement = make_statement(self.keypair, Phase.REVEAL.value, round_number, digest)
             reveal = RevealMessage(
                 statement=statement,
-                commits=frozenset(commits.values()),
+                commits=build_justification(commits.values(), self.ctx.aggregate_certs),
                 block=state.blocks.get(digest),
             )
             self.broadcast(

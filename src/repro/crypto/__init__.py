@@ -28,6 +28,13 @@ non-unforgeable ``fast-sim`` tag backend for sweeps that never
 exercise accountability.
 """
 
+from repro.crypto.aggregate import (
+    AggregateQC,
+    aggregate_statements,
+    aggregate_tag,
+    bitmap_of,
+    ids_of,
+)
 from repro.crypto.backends import (
     CryptoBackend,
     DEFAULT_BACKEND,
@@ -40,13 +47,18 @@ from repro.crypto.registry import DEFAULT_VERIFY_CACHE_SIZE, KeyRegistry
 from repro.crypto.signatures import Signature, sign, verify
 
 __all__ = [
+    "AggregateQC",
     "CryptoBackend",
     "DEFAULT_BACKEND",
     "DEFAULT_VERIFY_CACHE_SIZE",
     "KeyPair",
     "KeyRegistry",
     "Signature",
+    "aggregate_statements",
+    "aggregate_tag",
     "backend_names",
+    "bitmap_of",
+    "ids_of",
     "digest_hex",
     "generate_keypair",
     "get_backend",

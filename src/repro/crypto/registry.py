@@ -23,6 +23,7 @@ import hashlib
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.crypto.aggregate import AggregateQC, aggregate_tag
 from repro.crypto.backends import CryptoBackend, DEFAULT_BACKEND, get_backend
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair, generate_keypair
@@ -52,9 +53,16 @@ class KeyRegistry:
         self._backend = get_backend(backend)
         self._keys: Dict[int, KeyPair] = {}
         self._cache: "OrderedDict[Tuple[int, str, bytes], bool]" = OrderedDict()
+        # Aggregate-certificate verdicts, keyed (bitmap, agg_tag,
+        # value digest); same exactness argument as the per-signature
+        # cache — a forged tag or flipped bitmap bit is a different
+        # key, misses, and is re-derived from the secrets.
+        self._agg_cache: "OrderedDict[Tuple[int, str, bytes], bool]" = OrderedDict()
         self._cache_size = max(0, int(verify_cache_size))
         self.cache_hits = 0
         self.cache_misses = 0
+        self.agg_cache_hits = 0
+        self.agg_cache_misses = 0
 
     @classmethod
     def trusted_setup(
@@ -165,6 +173,79 @@ class KeyRegistry:
     def verify_all(self, signatures: Iterable[Signature], value: Any) -> bool:
         """Check every signature in ``signatures`` against ``value``."""
         return self.verify_quorum(signatures, value)
+
+    # ------------------------------------------------------------------
+    # Aggregate certificates
+    # ------------------------------------------------------------------
+    def batch_canonicalize(self, value: Any) -> Tuple[bytes, bytes]:
+        """Serialise ``value`` once for a whole certificate.
+
+        Returns ``(message_bytes, sha256_digest)`` — the shared inputs
+        every per-signer tag derivation and cache key of a certificate
+        check needs, computed a single time for the batch.
+        """
+        message = canonical_bytes(value)
+        return message, hashlib.sha256(message).digest()
+
+    def verify_aggregate(
+        self,
+        aggregate: AggregateQC,
+        value: Any = None,
+        message: Optional[bytes] = None,
+    ) -> bool:
+        """Validate a whole aggregate certificate in one call.
+
+        Re-derives each bitmap member's tag over the single
+        canonicalised ``value`` (or pre-serialised ``message``) from
+        the trusted-setup secrets, recombines them and compares against
+        the certificate's aggregate tag.  Empty bitmaps and unknown
+        signers fail outright.  Verdicts are cached keyed by
+        ``(bitmap, agg_tag, value digest)``, so re-checks of the same
+        certificate — every receiver of a broadcast checks it — are a
+        single dictionary lookup.
+        """
+        signers = aggregate.signers
+        if not signers:
+            return False
+        keypairs = []
+        for signer in signers:
+            keypair = self._keys.get(signer)
+            if keypair is None:
+                return False
+            keypairs.append(keypair)
+        if message is None:
+            message, value_digest = self.batch_canonicalize(value)
+        else:
+            value_digest = hashlib.sha256(message).digest()
+        if self._cache_size == 0:
+            expected = aggregate_tag(
+                {kp.player_id: self._backend.tag(kp.secret, message) for kp in keypairs}
+            )
+            return expected == aggregate.agg_tag
+        key = (aggregate.signer_bitmap, aggregate.agg_tag, value_digest)
+        cached = self._agg_cache.get(key)
+        if cached is not None:
+            self._agg_cache.move_to_end(key)
+            self.agg_cache_hits += 1
+            return cached
+        self.agg_cache_misses += 1
+        expected = aggregate_tag(
+            {kp.player_id: self._backend.tag(kp.secret, message) for kp in keypairs}
+        )
+        valid = expected == aggregate.agg_tag
+        self._agg_cache[key] = valid
+        if len(self._agg_cache) > self._cache_size:
+            self._agg_cache.popitem(last=False)
+        return valid
+
+    def aggregate_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and occupancy of the aggregate-verdict cache."""
+        return {
+            "hits": self.agg_cache_hits,
+            "misses": self.agg_cache_misses,
+            "size": len(self._agg_cache),
+            "maxsize": self._cache_size,
+        }
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and occupancy of the verification cache."""

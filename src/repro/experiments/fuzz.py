@@ -212,6 +212,11 @@ def _draw_axes(rng: random.Random, profile: str) -> Dict[str, Any]:
         fields["crypto_cache_size"] = 0
     if wild and attack != "fork" and rng.random() < 0.15:
         fields["crypto_backend"] = "fast-sim"
+    # Drawn last so every pre-existing trial's axes replay unchanged:
+    # the aggregate representation is a pure wire-format change the
+    # oracle must find indistinguishable from the expanded one.
+    if rng.random() < 0.25:
+        fields["aggregate_certs"] = True
     return fields
 
 
@@ -389,6 +394,8 @@ def _shrink_candidates(scenario: Scenario) -> List[Dict[str, Any]]:
         moves.append({"quorum": None})
     if scenario.crypto_cache_size != DEFAULT_VERIFY_CACHE_SIZE:
         moves.append({"crypto_cache_size": DEFAULT_VERIFY_CACHE_SIZE})
+    if scenario.aggregate_certs:
+        moves.append({"aggregate_certs": False})
     if scenario.thetas:
         moves.append({"thetas": ()})
     if scenario.tx_count is not None:

@@ -118,8 +118,17 @@ class Scenario:
     for game-theory sweeps that never exercise unforgeability; refused
     by fork/accountability scenarios).  ``crypto_cache_size`` bounds
     the deployment's verified-signature cache; 0 disables caching and
-    restores the re-verify-everything reference path.  Both are sweep
+    restores the re-verify-everything reference path.
+    ``aggregate_certs`` switches quorum justifications to aggregate
+    certificates (one digest + signer bitmap + aggregate tag instead of
+    n signed statements on the wire) — a pure representation change:
+    commit logs, oracle verdicts and burn sets are identical with the
+    axis on or off, only message sizes shrink.  All three are sweep
     axes like any other field.
+
+    Committee size: ``n`` must lie in [1, 256] — the big-committee
+    ceiling the aggregate-certificate benchmarks exercise; larger
+    rosters have no tested configuration.
 
     Workload: ``workload`` selects the client arrival process —
     ``static`` (the legacy pre-loaded batch, default), ``poisson``
@@ -186,10 +195,19 @@ class Scenario:
     max_events: int = 2_000_000
     crypto_backend: str = DEFAULT_BACKEND
     crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
+    aggregate_certs: bool = False
     check_invariants: bool = False
     allow_unsound_crypto: bool = False
 
+    #: committee-size ceiling: the largest n any benchmark exercises.
+    MAX_N = 256
+
     def __post_init__(self) -> None:
+        if not 1 <= self.n <= self.MAX_N:
+            raise ValueError(
+                f"n must lie in [1, {self.MAX_N}]; got {self.n} "
+                f"(the big-committee benchmarks stop at n={self.MAX_N})"
+            )
         if self.protocol not in PROTOCOL_FACTORIES:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOL_FACTORIES)}"
@@ -433,7 +451,9 @@ class Scenario:
                 reorder_jitter=self.reorder_jitter,
             ),
             crypto=CryptoSpec(
-                backend=self.crypto_backend, cache_size=self.crypto_cache_size
+                backend=self.crypto_backend,
+                cache_size=self.crypto_cache_size,
+                aggregate_certs=self.aggregate_certs,
             ),
             faults=FaultSpec(crash_schedule=self.build_crash_schedule()),
             workload=self.build_workload_spec(),

@@ -130,6 +130,9 @@ class ProtocolContext:
     collateral: CollateralRegistry
     commit_log: CommitLog = field(default_factory=CommitLog)
     workload: Optional[Any] = None
+    # Wire-format axis: quorum justifications travel as AggregateQC
+    # bitmaps instead of full statement sets (CryptoSpec.aggregate_certs).
+    aggregate_certs: bool = False
 
     @property
     def trace(self):

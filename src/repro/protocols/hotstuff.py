@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.agents.player import Player
-from repro.core.messages import KAPPA, SignedStatement, make_statement, verify_statement
+from repro.core.messages import (
+    KAPPA,
+    SignedStatement,
+    make_statement,
+    statement_value,
+    verify_statement,
+)
+from repro.crypto.aggregate import AggregateQC, aggregate_statements
 from repro.ledger.block import Block
 from repro.net.envelope import Envelope
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
@@ -46,9 +53,15 @@ class QuorumCertificate:
     digest: str
     signer_count: int
     attestation: Optional[SignedStatement] = None
+    # Under the aggregate_certs axis the certificate carries the real
+    # aggregated signer evidence (tag + bitmap) instead of a trusted
+    # signer_count: receivers then verify the quorum cryptographically.
+    aggregate: Optional[AggregateQC] = None
 
     @property
     def size_bytes(self) -> int:
+        if self.aggregate is not None:
+            return self.aggregate.size_bytes
         return KAPPA
 
 
@@ -134,6 +147,9 @@ class _HsRound:
     sent_proposal: Optional[HsProposal] = None
     blocks: Dict[str, Block] = field(default_factory=dict)
     votes: Dict[str, Dict[str, Set[int]]] = field(default_factory=dict)  # phase -> digest -> voters
+    # phase -> digest -> signer -> statement; only populated by the
+    # leader in aggregate mode, which needs the vote tags to aggregate.
+    vote_statements: Dict[str, Dict[str, Dict[int, SignedStatement]]] = field(default_factory=dict)
     voted_phases: Set[str] = field(default_factory=set)
     votes_cast: Dict[str, str] = field(default_factory=dict)  # phase -> digest we voted
     certified_phases: Set[str] = field(default_factory=set)
@@ -235,14 +251,8 @@ class HotStuffReplica(BaseReplica):
                 for digest, voters in sorted(state.votes.get(phase, {}).items()):
                     if len(voters) < self.config.quorum_size:
                         continue
-                    certificate = QuorumCertificate(
-                        phase=phase,
-                        round_number=round_number,
-                        digest=digest,
-                        signer_count=len(voters),
-                        attestation=make_statement(
-                            self.keypair, phase + "-qc", round_number, digest
-                        ),
+                    certificate = self._build_certificate(
+                        state, phase, round_number, digest, voters
                     )
                     message_type = HS_DECIDE if phase == HS_PHASES[-1] else phase + "-qc"
                     self.broadcast(
@@ -375,19 +385,17 @@ class HotStuffReplica(BaseReplica):
         state = self._state(round_number)
         voters = state.votes.setdefault(statement.phase, {}).setdefault(statement.digest, set())
         voters.add(sender)
+        if self.ctx.aggregate_certs:
+            state.vote_statements.setdefault(statement.phase, {}).setdefault(
+                statement.digest, {}
+            )[sender] = statement
         if len(voters) < self.config.quorum_size:
             return
         if statement.phase in state.certified_phases:
             return
         state.certified_phases.add(statement.phase)
-        certificate = QuorumCertificate(
-            phase=statement.phase,
-            round_number=round_number,
-            digest=statement.digest,
-            signer_count=len(voters),
-            attestation=make_statement(
-                self.keypair, statement.phase + "-qc", round_number, statement.digest
-            ),
+        certificate = self._build_certificate(
+            state, statement.phase, round_number, statement.digest, voters
         )
         message_type = HS_DECIDE if statement.phase == HS_PHASES[-1] else statement.phase + "-qc"
         self.broadcast(
@@ -396,6 +404,58 @@ class HotStuffReplica(BaseReplica):
             size_bytes=certificate.size_bytes,
             round_number=round_number,
             phase=statement.phase,
+        )
+
+    def _build_certificate(
+        self,
+        state: _HsRound,
+        phase: str,
+        round_number: int,
+        digest: str,
+        voters: Set[int],
+    ) -> QuorumCertificate:
+        """Aggregate the leader's collected votes into a certificate.
+
+        With ``aggregate_certs`` off the certificate carries only the
+        trusted ``signer_count`` (the historical κ-size model); with it
+        on, the retained vote statements are folded into a real
+        :class:`AggregateQC` whose bitmap + tag receivers verify.
+        """
+        aggregate = None
+        if self.ctx.aggregate_certs:
+            statements = state.vote_statements.get(phase, {}).get(digest, {})
+            if statements:
+                aggregate = aggregate_statements(statements.values())
+        return QuorumCertificate(
+            phase=phase,
+            round_number=round_number,
+            digest=digest,
+            signer_count=len(voters),
+            attestation=make_statement(self.keypair, phase + "-qc", round_number, digest),
+            aggregate=aggregate,
+        )
+
+    def _aggregate_ok(self, certificate: QuorumCertificate) -> bool:
+        """Cryptographically check an attached aggregate, if any.
+
+        A certificate without an aggregate is accepted on the legacy
+        trust model (leader attestation + signer_count); one *with* an
+        aggregate must pin the same (phase, round, digest), name a
+        quorum in its bitmap and verify against the trusted setup.
+        """
+        aggregate = certificate.aggregate
+        if aggregate is None:
+            return True
+        if (
+            aggregate.phase != certificate.phase
+            or aggregate.round_number != certificate.round_number
+            or aggregate.digest != certificate.digest
+            or aggregate.signer_count < self.config.quorum_size
+        ):
+            return False
+        return self.ctx.registry.verify_aggregate(
+            aggregate,
+            statement_value(aggregate.phase, aggregate.round_number, aggregate.digest),
         )
 
     def _on_certificate(self, sender: int, message: HsCertificateMessage) -> None:
@@ -414,6 +474,8 @@ class HotStuffReplica(BaseReplica):
             ):
                 return
         if certificate.signer_count < self.config.quorum_size:
+            return
+        if not self._aggregate_ok(certificate):
             return
         state = self._state(round_number)
         phase_index = HS_PHASES.index(certificate.phase) if certificate.phase in HS_PHASES else -1
@@ -497,6 +559,8 @@ class HotStuffReplica(BaseReplica):
         if certificate.signer_count < self.config.quorum_size:
             return
         if not self._attested(certificate):
+            return
+        if not self._aggregate_ok(certificate):
             return
         state = self._state(certificate.round_number)
         if state.finalized:

@@ -8,6 +8,11 @@ double-signer is never provably exposed and never loses collateral.
 This is the Figure-3 comparison point with O(κ) message size, and the
 foil for pRFT's reveal phase in the robustness experiments: under
 violated bounds pBFT forks *silently*.
+
+The ``aggregate_certs`` crypto axis is an identity here: pBFT carries
+no quorum certificates on the wire (each replica counts the prepares
+and commits it received directly), so there is nothing to aggregate
+and runs are bit-for-bit identical with the axis on or off.
 """
 
 from __future__ import annotations

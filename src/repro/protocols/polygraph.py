@@ -17,12 +17,16 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.agents.player import Player
 from repro.core.messages import (
+    Justification,
     SignedStatement,
+    build_justification,
+    justification_size,
     make_statement,
-    verify_quorum,
+    verify_justification,
     verify_statement,
 )
 from repro.core.pof import FraudDetector, FraudProof
+from repro.crypto.aggregate import AggregateQC
 from repro.ledger.block import Block
 from repro.ledger.validation import ADVERSARIAL_MARKER_PREFIX
 from repro.protocols.base import BaseReplica, ProtocolConfig, ProtocolContext
@@ -70,10 +74,14 @@ class PgPrepare:
 
 @dataclass(frozen=True)
 class PgCommit:
-    """Commit with the prepare-quorum justification — the accountable bit."""
+    """Commit with the prepare-quorum justification — the accountable bit.
+
+    ``prepares`` is the justification in either wire representation
+    (statement set, or one AggregateQC under ``aggregate_certs``).
+    """
 
     statement: SignedStatement
-    prepares: FrozenSet[SignedStatement]
+    prepares: Justification
     block: Optional[Any] = None
 
     @property
@@ -87,7 +95,7 @@ class PgCommit:
     @property
     def size_bytes(self) -> int:
         block_size = self.block.size_estimate_bytes if self.block is not None else 0
-        return self.statement.size_bytes + sum(p.size_bytes for p in self.prepares) + block_size
+        return self.statement.size_bytes + justification_size(self.prepares) + block_size
 
 
 @dataclass(frozen=True)
@@ -190,6 +198,20 @@ class PolygraphReplica(BaseReplica):
         if proof is not None:
             self._punish(proof)
 
+    def _absorb_justification(self, justification: Justification) -> None:
+        """Absorb a quorum justification's evidence in either shape.
+
+        Aggregates are verified by the detector before expansion and
+        memoized per slot, so re-absorption of a circulating
+        certificate is O(1) after first sight.
+        """
+        if isinstance(justification, AggregateQC):
+            for proof in self.detector.absorb_aggregate(justification):
+                self._punish(proof)
+            return
+        for statement in justification:
+            self._absorb(statement)
+
     def _punish(self, proof: FraudProof) -> None:
         accused = proof.accused
         if accused in self.reported_guilty:
@@ -278,7 +300,9 @@ class PolygraphReplica(BaseReplica):
             self._absorb(statement)
         for attr in ("prepares", "evidence"):
             bundle = getattr(payload, attr, None)
-            if bundle:
+            if isinstance(bundle, AggregateQC):
+                self._absorb_justification(bundle)
+            elif bundle:
                 for stmt in bundle:
                     if verify_statement(self.ctx.registry, stmt):
                         self._absorb(stmt)
@@ -334,7 +358,9 @@ class PolygraphReplica(BaseReplica):
         statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
         commit = PgCommit(
             statement=statement,
-            prepares=frozenset(state.prepares[digest].values()),
+            prepares=build_justification(
+                state.prepares[digest].values(), self.ctx.aggregate_certs
+            ),
             block=state.blocks.get(digest),
         )
         self.broadcast(
@@ -351,7 +377,7 @@ class PolygraphReplica(BaseReplica):
         if not self._valid(message.statement, sender, PG_COMMIT):
             return
         digest = message.digest
-        if not verify_quorum(
+        if not verify_justification(
             self.ctx.registry,
             message.prepares,
             phase=PG_PREPARE,
@@ -361,8 +387,7 @@ class PolygraphReplica(BaseReplica):
         ):
             return
         self._absorb(message.statement)
-        for prepare in message.prepares:
-            self._absorb(prepare)
+        self._absorb_justification(message.prepares)
         if message.block is not None and message.block.digest == digest:
             state.blocks.setdefault(digest, message.block)
         state.commits.setdefault(digest, {})[sender] = message.statement
@@ -404,7 +429,9 @@ class PolygraphReplica(BaseReplica):
             statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
             commit = PgCommit(
                 statement=statement,
-                prepares=frozenset(prepares.values()),
+                prepares=build_justification(
+                    prepares.values(), self.ctx.aggregate_certs
+                ),
                 block=block,
             )
             self.send_direct(
@@ -504,7 +531,9 @@ class PolygraphReplica(BaseReplica):
             statement = make_statement(self.keypair, PG_COMMIT, round_number, digest)
             commit = PgCommit(
                 statement=statement,
-                prepares=frozenset(prepares.values()),
+                prepares=build_justification(
+                    prepares.values(), self.ctx.aggregate_certs
+                ),
                 block=state.blocks.get(digest),
             )
             self.broadcast(

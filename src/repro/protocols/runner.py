@@ -76,6 +76,7 @@ def build_context(
     loss_rate: float = 0.0,
     duplicate_rate: float = 0.0,
     reorder_jitter: float = 0.0,
+    aggregate_certs: bool = False,
 ) -> ProtocolContext:
     """Assemble engine, network, PKI and collateral for a deployment.
 
@@ -113,6 +114,7 @@ def build_context(
         timers=TimerService(engine),
         registry=registry,
         collateral=collateral,
+        aggregate_certs=aggregate_certs,
     )
 
 
@@ -217,6 +219,7 @@ class Deployment:
             seed=spec.seed,
             crypto_backend=spec.crypto.backend,
             crypto_cache_size=spec.crypto.cache_size,
+            aggregate_certs=spec.crypto.aggregate_certs,
             loss_rate=spec.network.loss_rate,
             duplicate_rate=spec.network.duplicate_rate,
             reorder_jitter=spec.network.reorder_jitter,
@@ -296,6 +299,7 @@ def run_consensus(
     duplicate_rate: float = 0.0,
     reorder_jitter: float = 0.0,
     crash_schedule: Optional[CrashSchedule] = None,
+    aggregate_certs: bool = False,
 ) -> RunResult:
     """Compatibility shim: the historical flat-kwargs entry point.
 
@@ -315,7 +319,11 @@ def run_consensus(
             duplicate_rate=duplicate_rate,
             reorder_jitter=reorder_jitter,
         ),
-        crypto=CryptoSpec(backend=crypto_backend, cache_size=crypto_cache_size),
+        crypto=CryptoSpec(
+            backend=crypto_backend,
+            cache_size=crypto_cache_size,
+            aggregate_certs=aggregate_certs,
+        ),
         faults=FaultSpec(crash_schedule=crash_schedule),
         workload=WorkloadSpec(
             kind="static",

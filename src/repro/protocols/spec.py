@@ -75,10 +75,20 @@ class NetworkSpec:
 
 @dataclass(frozen=True)
 class CryptoSpec:
-    """Signature backend and the deployment's verification cache."""
+    """Signature backend and the deployment's verification cache.
+
+    ``aggregate_certs`` switches every quorum-carrying wire format to
+    the :class:`~repro.crypto.aggregate.AggregateQC` representation —
+    one tag plus a signer bitmap instead of the full statement set.  A
+    pure representation change: commit logs, oracle verdicts and burn
+    sets are identical with the axis on or off (the differential
+    conformance suite enforces this); only wire bytes and verification
+    cost drop, which is what unlocks committees of n = 64–256.
+    """
 
     backend: str = DEFAULT_BACKEND
     cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
+    aggregate_certs: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_size < 0:

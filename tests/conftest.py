@@ -20,6 +20,15 @@ from repro.protocols.base import ProtocolConfig
 from repro.protocols.runner import RunResult, run_consensus
 
 
+def pytest_collection_modifyitems(config, items):
+    """Big-committee runs (n >= 64) belong to the slow tier: every
+    ``large_n`` test is auto-marked ``slow`` so the fast tier
+    (``-m "not slow"``) skips them without double-marking."""
+    for item in items:
+        if "large_n" in item.keywords:
+            item.add_marker(pytest.mark.slow)
+
+
 def roster(
     n: int,
     rational_ids: Sequence[int] = (),

@@ -1,0 +1,139 @@
+"""Differential conformance: ``aggregate_certs`` is a representation.
+
+The axis may only change how quorum certificates travel (bitmap + tag
+vs n signed statements) — never *what* the deployment does.  For every
+protocol and scenario pair these tests run the identical (scenario,
+seed) twice, aggregation off and on, and require:
+
+- identical commit logs (per-transaction first-finalisation times),
+- identical honest final ledgers,
+- identical burn sets and oracle verdicts,
+- identical message counts (aggregation changes payload bytes only),
+- fewer (or equal) wire bytes for the justification-carrying protocols
+  (pRFT, Polygraph, TRAP); pBFT carries no certificates, and
+  HotStuff's legacy QC already models a constant-size threshold
+  signature, so the explicit bitmap adds ⌈n/8⌉ bytes there.
+
+The golden-record gate re-asserts that the *off* path still produces
+byte-identical canonical records — aggregation must be strictly opt-in.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import Scenario, get_scenario, scenario_catalog
+from repro.experiments.results import RunRecord
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "golden_records.json"
+
+#: Protocols whose wire certificates shrink under aggregation.
+SHRINKING_PROTOCOLS = {"prft", "polygraph", "trap"}
+
+#: Fast tier-1 differential points: every protocol on the honest
+#: baseline, plus the adversarial pRFT scenarios that exercise burns,
+#: accountability under loss, and a single equivocator.
+FAST_CASES = [
+    ("protocol-matrix", "prft"),
+    ("protocol-matrix", "pbft"),
+    ("protocol-matrix", "hotstuff"),
+    ("protocol-matrix", "polygraph"),
+    ("protocol-matrix", "trap"),
+    ("fork", None),
+    ("lossy-prft-fork", None),
+    ("lone-equivocator", None),
+    ("censorship", None),
+]
+
+#: Fast golden subset (the full gate already runs in test_workloads).
+FAST_GOLDEN_SUBSET = ("honest", "fork", "protocol-matrix", "lone-equivocator")
+
+
+def _summarise(result):
+    return {
+        "commit_log": result.ctx.commit_log.commit_times(),
+        "final_ledgers": {
+            pid: [block.digest for block in chain.final_blocks()]
+            for pid, chain in result.honest_chains().items()
+        },
+        "burned": sorted(result.penalised_players()),
+        "oracle": result.oracle.as_items() if result.oracle is not None else None,
+        "messages": result.metrics.total_messages,
+    }
+
+
+def _run_pair(scenario, seed=0):
+    checked = scenario.with_params(check_invariants=True)
+    off = checked.run(seed=seed)
+    on = checked.with_params(aggregate_certs=True).run(seed=seed)
+    return off, on
+
+
+def _assert_equivalent(scenario, off, on):
+    s_off, s_on = _summarise(off), _summarise(on)
+    for key in s_off:
+        assert s_off[key] == s_on[key], (
+            f"{scenario.name}/{scenario.protocol}: {key} diverged under "
+            f"aggregate_certs — the axis must be a pure representation change"
+        )
+    if scenario.protocol in SHRINKING_PROTOCOLS:
+        assert on.metrics.total_bytes <= off.metrics.total_bytes, (
+            f"{scenario.name}/{scenario.protocol}: aggregation grew the wire"
+        )
+
+
+class TestDifferentialFast:
+    @pytest.mark.parametrize("name,protocol", FAST_CASES)
+    def test_on_off_equivalent(self, name, protocol):
+        scenario = get_scenario(name)
+        if protocol is not None:
+            scenario = scenario.with_params(protocol=protocol)
+        off, on = _run_pair(scenario)
+        _assert_equivalent(scenario, off, on)
+
+    def test_prft_aggregation_shrinks_honest_traffic(self):
+        scenario = get_scenario("honest")
+        off, on = _run_pair(scenario)
+        _assert_equivalent(scenario, off, on)
+        # The honest pRFT baseline carries full justifications in every
+        # Commit/Reveal: aggregation must cut total bytes substantially.
+        assert on.metrics.total_bytes < 0.7 * off.metrics.total_bytes
+
+
+@pytest.mark.slow
+class TestDifferentialFullCatalog:
+    @pytest.mark.parametrize("name", sorted(scenario_catalog()))
+    def test_catalog_entry_on_off_equivalent(self, name):
+        scenario = get_scenario(name)
+        off, on = _run_pair(scenario)
+        _assert_equivalent(scenario, off, on)
+
+
+class TestGoldenOffPath:
+    def _assert_golden(self, names):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for name in names:
+            scenario = get_scenario(name).with_params(aggregate_certs=False)
+            result = scenario.run(seed=0)
+            record = RunRecord.from_result(scenario, seed=0, result=result)
+            assert json.dumps(record.canonical(), sort_keys=True) == json.dumps(
+                golden[name], sort_keys=True
+            ), f"{name}: the aggregate-certs OFF path broke golden byte-identity"
+
+    def test_off_path_golden_subset_byte_identical(self):
+        self._assert_golden(FAST_GOLDEN_SUBSET)
+
+    @pytest.mark.slow
+    def test_off_path_all_golden_records_byte_identical(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert len(golden) >= 13
+        self._assert_golden(sorted(golden))
+
+    def test_scenario_dict_omits_default_axis(self):
+        """A default (off) scenario serialises without the new field, so
+        recorded artifacts from before the axis existed replay as-is."""
+        assert "aggregate_certs" not in Scenario(name="plain").to_dict()
+        assert Scenario(name="agg", aggregate_certs=True).to_dict()[
+            "aggregate_certs"
+        ] is True
