@@ -6,7 +6,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees large-n-smoke example clean
+.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining pipelining-smoke large-n-smoke example clean
 
 check: test smoke catalog-check
 	@echo "check: OK"
@@ -70,6 +70,24 @@ bench-throughput:
 # conformance comparison at n=64.  Appends to BENCH_throughput.json.
 bench-big-committees:
 	$(PYTHON) -m pytest benchmarks/bench_big_committees.py --benchmark-only -s
+
+# Saturation-knee shift from pipelined, batched production (E19):
+# depth {1,2,4} x max_block_txs {1,16,64} at n=16 under a saturating
+# Poisson load, gated on a >=10x knee move over the legacy sequential
+# loop.  Appends to BENCH_throughput.json.
+bench-pipelining:
+	$(PYTHON) -m pytest benchmarks/bench_pipelining.py --benchmark-only -s
+
+# One depth-2 pipelined run per protocol through the real CLI with the
+# trace oracle checking every invariant (exit 1 on violation).  The
+# differential suite (tests/test_pipelining.py) covers the semantics;
+# this drives the end-to-end CLI path CI runs.
+pipelining-smoke:
+	$(PYTHON) -m repro.cli run honest --protocol prft -n 16 --rounds 2 --pipeline-depth 2 --block-txs 16 --check
+	$(PYTHON) -m repro.cli run honest --protocol pbft -n 16 --rounds 2 --pipeline-depth 2 --block-txs 16 --check
+	$(PYTHON) -m repro.cli run honest --protocol hotstuff -n 16 --rounds 2 --pipeline-depth 2 --block-txs 16 --check
+	$(PYTHON) -m repro.cli run honest --protocol polygraph -n 16 --rounds 2 --pipeline-depth 2 --block-txs 16 --check
+	$(PYTHON) -m repro.cli run honest --protocol trap -n 16 --rounds 2 --pipeline-depth 2 --block-txs 16 --check
 
 # One n=64 run per protocol through the real CLI with aggregate
 # certificates on the wire and the trace oracle checking every

@@ -8,10 +8,9 @@ from repro.analysis.robustness import check_robustness
 from repro.core.replica import prft_factory
 from repro.net.delays import PartialSynchronyDelay
 from repro.protocols.base import ProtocolConfig
-from repro.net.delays import FixedDelay
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import run
 
-from benchmarks.helpers import once, roster
+from benchmarks.helpers import base_spec, once, roster
 
 
 def _consistency_runs():
@@ -23,11 +22,10 @@ def _consistency_runs():
         players = roster(9, byzantine_ids=[0])
         players[0].strategy = AbstainStrategy()
         config = ProtocolConfig.for_prft(n=9, max_rounds=3, timeout=20.0)
-        result = run_consensus(
-            prft_factory, players, config,
-            delay_model=PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed),
+        result = run(base_spec(prft_factory, players, config).derive(
+            network={"delay_model": PartialSynchronyDelay(gst=30.0, delta=1.0, seed=seed)},
             max_time=500.0,
-        )
+        ))
         honest = set(result.honest_ids)
         finalized = {
             e.detail["round"] for e in result.trace.events("final") if e.player in honest
@@ -51,9 +49,7 @@ def _robustness_run():
     for pid in (7, 8):
         players[pid].strategy = AbstainStrategy()
     config = ProtocolConfig.for_prft(n=9, max_rounds=3, timeout=30.0)
-    return run_consensus(
-        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
-    )
+    return run(base_spec(prft_factory, players, config).derive(max_time=500.0))
 
 
 def test_claim2_consistency(benchmark):

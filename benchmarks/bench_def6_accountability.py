@@ -10,11 +10,10 @@ from repro.analysis.accountability import check_accountability
 from repro.analysis.report import render_table
 from repro.core.replica import prft_factory
 from repro.protocols.base import ProtocolConfig
-from repro.net.delays import FixedDelay
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import run
 from repro.agents.strategies import EquivocateStrategy
 
-from benchmarks.helpers import once, roster
+from benchmarks.helpers import base_spec, once, roster
 
 
 def _inject(num_deviators: int):
@@ -27,9 +26,7 @@ def _inject(num_deviators: int):
             colluders=set(deviators), shared_sides=shared
         )
     config = ProtocolConfig.for_prft(n=n, max_rounds=3, timeout=15.0)
-    result = run_consensus(
-        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
-    )
+    result = run(base_spec(prft_factory, players, config).derive(max_time=500.0))
     return result, check_accountability(result)
 
 

@@ -1,0 +1,139 @@
+"""E19 — the saturation-knee shift from pipelined, batched production.
+
+The sequential round loop serves at most ``block_size`` transactions
+per slot round-trip, which pins the open-loop saturation knee of
+``bench_throughput`` at a few tx per time unit.  This harness charts
+how far the knee moves as the two ProductionSpec knobs open up, on an
+n = 16 committee under a deliberately saturating Poisson load:
+
+- the **grid**: depth ∈ {1, 2, 4} × max_block_txs ∈ {1, 16, 64} — the
+  committed service rate of each point *is* its knee (an open-loop run
+  past saturation commits at exactly the deployment's service rate);
+- the **legacy reference**: depth 1 with ``max_block_txs=None``
+  (``block_size`` caps the block), today's default production;
+- the **gate**: the best pipelined point must move the knee ≥10× over
+  the legacy reference (≥3× in smoke mode, which shrinks the run), and
+  every grid point must preserve agreement.
+
+Results append to ``BENCH_throughput.json`` alongside E17's trajectory
+(entries carry ``experiment: "pipelining"``).
+"""
+
+import time
+from typing import Dict, List
+
+from repro.analysis.report import render_table
+from repro.analysis.robustness import check_robustness
+from repro.experiments import Scenario
+
+from benchmarks.bench_results import record_bench
+from benchmarks.helpers import once, smoke_mode
+
+N = 16
+DEPTHS = (1, 2, 4)
+BATCHES = (1, 16, 64)
+DURATION = 30.0 if smoke_mode() else 120.0
+# Well past every configuration's knee, so committed/horizon measures
+# the service rate rather than the arrival process.
+RATE = 4.0 if smoke_mode() else 16.0
+KNEE_GATE = 3.0 if smoke_mode() else 10.0
+
+
+def _base_scenario() -> Scenario:
+    return Scenario(
+        name="pipelining-knee", protocol="prft", n=N, workload="poisson",
+        arrival_rate=RATE, duration=DURATION, timeout=10.0,
+        max_time=DURATION + 100.0,
+    )
+
+
+def _service_rate(scenario: Scenario) -> Dict[str, object]:
+    result = scenario.run(seed=0)
+    throughput = result.throughput
+    verdict = check_robustness(
+        result, liveness_slack=max(1, scenario.pipeline_depth)
+    )
+    return {
+        "committed": throughput.committed,
+        "submitted": throughput.submitted,
+        "service_rate": round(throughput.committed / throughput.horizon, 4),
+        "blocks_per_sec": round(throughput.blocks_per_sec, 4),
+        "latency_p50": round(throughput.latency_p50, 2),
+        "peak_backlog": throughput.peak_backlog,
+        "agreement": verdict.agreement,
+    }
+
+
+def _experiment():
+    started = time.perf_counter()
+    base = _base_scenario()
+
+    legacy = _service_rate(base)
+    grid: List[Dict[str, object]] = []
+    for depth in DEPTHS:
+        for batch in BATCHES:
+            point = _service_rate(base.with_params(
+                pipeline_depth=depth, max_block_txs=batch,
+                coalesce_window=0.5 if batch > 1 else 0.0,
+            ))
+            point["depth"] = depth
+            point["max_block_txs"] = batch
+            grid.append(point)
+
+    best = max(grid, key=lambda p: p["service_rate"])
+    knee_shift = (
+        best["service_rate"] / legacy["service_rate"]
+        if legacy["service_rate"] else float("inf")
+    )
+    return {
+        "experiment": "pipelining",
+        "n": N,
+        "arrival_rate": RATE,
+        "duration": DURATION,
+        "legacy": legacy,
+        "grid": grid,
+        "knee_shift": round(knee_shift, 2),
+        "wall_seconds": round(time.perf_counter() - started, 3),
+    }
+
+
+def test_pipelining_knee_shift(benchmark):
+    measured = once(benchmark, _experiment)
+
+    rows = [[
+        "legacy (depth=1, block_size cap)",
+        f"svc={measured['legacy']['service_rate']} "
+        f"p50={measured['legacy']['latency_p50']} "
+        f"backlog={measured['legacy']['peak_backlog']}",
+    ]]
+    for point in measured["grid"]:
+        rows.append([
+            f"depth={point['depth']} batch={point['max_block_txs']}",
+            f"svc={point['service_rate']} p50={point['latency_p50']} "
+            f"backlog={point['peak_backlog']}",
+        ])
+    rows.append(["knee shift (best / legacy)", f"{measured['knee_shift']}x"])
+    rows.append(["wall time (s)", measured["wall_seconds"]])
+    print()
+    print(render_table(
+        ["configuration", "value"],
+        rows,
+        title=f"E19: saturation-knee shift at n={N}",
+    ))
+
+    path = record_bench("throughput", measured)
+    print(f"trajectory appended to {path}")
+
+    # Correctness gates (hold in smoke mode too).
+    assert measured["legacy"]["agreement"], "legacy production broke agreement"
+    for point in measured["grid"]:
+        assert point["agreement"], (
+            f"depth={point['depth']} batch={point['max_block_txs']} broke agreement"
+        )
+        assert point["committed"] > 0, (
+            f"depth={point['depth']} batch={point['max_block_txs']} never committed"
+        )
+    assert measured["knee_shift"] >= KNEE_GATE, (
+        f"pipelining+batching moved the knee only {measured['knee_shift']}x "
+        f"(gate: {KNEE_GATE}x)"
+    )

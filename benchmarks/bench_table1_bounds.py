@@ -18,10 +18,9 @@ from repro.core.replica import prft_factory
 from repro.gametheory.states import SystemState
 from repro.protocols.base import ProtocolConfig
 from repro.protocols.pbft import pbft_factory
-from repro.protocols.runner import run_consensus
-from repro.net.delays import FixedDelay
+from repro.protocols.runner import run
 
-from benchmarks.helpers import attack_run, once, roster
+from benchmarks.helpers import attack_run, base_spec, once, roster
 
 
 def _crash_run(n: int, crashed: int) -> bool:
@@ -38,9 +37,7 @@ def _crash_run(n: int, crashed: int) -> bool:
     config = ProtocolConfig(
         n=n, t0=n - majority, quorum=majority, max_rounds=2, timeout=10.0
     )
-    result = run_consensus(
-        pbft_factory, players, config, delay_model=FixedDelay(1.0), max_time=300.0
-    )
+    result = run(base_spec(pbft_factory, players, config).derive(max_time=300.0))
     report = check_robustness(result)
     return report.agreement and result.final_block_count() >= 1
 

@@ -11,10 +11,9 @@ from repro.core.replica import prft_factory
 from repro.gametheory.payoff import PlayerType, payoff
 from repro.gametheory.states import SystemState
 from repro.protocols.base import ProtocolConfig
-from repro.net.delays import FixedDelay
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import run
 
-from benchmarks.helpers import attack_run, once, roster
+from benchmarks.helpers import attack_run, base_spec, once, roster
 
 THETAS = [
     PlayerType.LIVENESS_ATTACKING,
@@ -50,9 +49,7 @@ def _realised_states():
     outcomes["sigma_Fork"] = fork.system_state()
 
     config = ProtocolConfig.for_prft(n=n, max_rounds=2)
-    honest = run_consensus(
-        prft_factory, roster(n), config, delay_model=FixedDelay(1.0)
-    )
+    honest = run(base_spec(prft_factory, roster(n), config))
     outcomes["sigma_0"] = honest.system_state()
     return outcomes
 

@@ -21,13 +21,12 @@ from repro.gametheory.trap_game import (
     repeated_game_utilities,
     theorem3_condition_holds,
 )
-from repro.net.delays import FixedDelay
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import run
 from repro.protocols.trap import trap_factory
 
-from benchmarks.helpers import once
+from benchmarks.helpers import base_spec, once
 
 
 def _game_analysis():
@@ -70,10 +69,10 @@ def _protocol_fork(policy: BaitingPolicy):
     partitions = PartitionSchedule()
     partitions.add(Partition.of(ga, gb), 0.0, 50.0)
     config = ProtocolConfig.for_bft(n=n, max_rounds=1, timeout=60.0)
-    return run_consensus(
-        trap_factory, players, config,
-        delay_model=FixedDelay(1.0), partitions=partitions, max_time=80.0,
+    spec = base_spec(trap_factory, players, config).derive(
+        network={"partitions": partitions}, max_time=80.0,
     )
+    return run(spec)
 
 
 def test_theorem3_game_has_insecure_focal_equilibrium(benchmark):

@@ -28,7 +28,12 @@ from repro.gametheory.payoff import PlayerType
 from repro.net.delays import DelayModel, FixedDelay
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import RunResult, run_consensus
+from repro.protocols.runner import (
+    NetworkSpec,
+    RunResult,
+    RunSpec,
+    run,
+)
 
 
 def roster(
@@ -70,20 +75,30 @@ def attack_run(
         partitions.add(
             Partition.of(collusion.split_a, collusion.split_b), 0.0, partition_window
         )
-    return run_consensus(
-        factory,
-        players,
-        config,
-        delay_model=FixedDelay(1.0),
-        partitions=partitions,
+    spec = base_spec(factory, players, config).derive(
+        network={"delay_model": FixedDelay(1.0), "partitions": partitions},
         max_time=max_time,
+    )
+    return run(spec)
+
+
+def base_spec(factory, players: Sequence[Player], config: ProtocolConfig) -> RunSpec:
+    """The benchmarks' shared deployment template; harnesses derive
+    their variations from it (``spec.derive(...)``) rather than
+    re-assembling flat kwargs."""
+    return RunSpec(
+        factory=factory,
+        players=tuple(players),
+        config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0)),
     )
 
 
 def honest_run(factory, config: ProtocolConfig, delay: Optional[DelayModel] = None) -> RunResult:
-    return run_consensus(
-        factory, roster(config.n), config, delay_model=delay or FixedDelay(1.0)
-    )
+    spec = base_spec(factory, roster(config.n), config)
+    if delay is not None:
+        spec = spec.derive(network={"delay_model": delay})
+    return run(spec)
 
 
 def once(benchmark, func):

@@ -20,8 +20,9 @@ from repro import (
     honest_player,
     prft_factory,
     rational_player,
-    run_consensus,
+    run,
 )
+from repro import NetworkSpec, RunSpec
 from repro.agents.strategies import HonestStrategy
 from repro.analysis import check_robustness, render_table
 from repro.gametheory.empirical import empirical_utility
@@ -39,9 +40,10 @@ def main() -> None:
     assign_strategies(players, coalition, "censorship", censored_tx_ids=[TARGET])
 
     config = ProtocolConfig.for_prft(n=N, max_rounds=9, timeout=10.0)
-    result = run_consensus(
-        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=800.0
-    )
+    result = run(RunSpec(
+        factory=prft_factory, players=tuple(players), config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0)), max_time=800.0,
+    ))
 
     chain = next(iter(result.honest_chains().values()))
     rows = []

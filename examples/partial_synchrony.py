@@ -16,8 +16,9 @@ from repro import (
     ProtocolConfig,
     honest_roster,
     prft_factory,
-    run_consensus,
+    run,
 )
+from repro import NetworkSpec, RunSpec
 from repro.analysis import check_robustness, render_table
 from repro.ledger.validation import strict_ordering_holds
 
@@ -27,13 +28,15 @@ GST = 60.0
 def main() -> None:
     n = 8
     config = ProtocolConfig.for_prft(n=n, max_rounds=5, timeout=25.0)
-    result = run_consensus(
-        prft_factory,
-        honest_roster(n),
-        config,
-        delay_model=PartialSynchronyDelay(gst=GST, delta=1.0, pre_gst_scale=90.0, seed=7),
+    result = run(RunSpec(
+        factory=prft_factory,
+        players=tuple(honest_roster(n)),
+        config=config,
+        network=NetworkSpec(
+            delay_model=PartialSynchronyDelay(gst=GST, delta=1.0, pre_gst_scale=90.0, seed=7)
+        ),
         max_time=1_000.0,
-    )
+    ))
 
     finals = result.trace.events("final")
     view_changes = result.trace.events("view_change_committed")

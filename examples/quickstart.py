@@ -14,8 +14,9 @@ from repro import (
     honest_roster,
     make_transactions,
     prft_factory,
-    run_consensus,
+    run,
 )
+from repro import NetworkSpec, RunSpec, WorkloadSpec
 from repro.analysis import check_robustness, render_table
 
 
@@ -25,13 +26,13 @@ def main() -> None:
     config = ProtocolConfig.for_prft(n=n, max_rounds=3)
     transactions = make_transactions(12, prefix="payment")
 
-    result = run_consensus(
-        prft_factory,
-        players,
-        config,
-        delay_model=SynchronousDelay(delta=1.0, seed=42),
-        transactions=transactions,
-    )
+    result = run(RunSpec(
+        factory=prft_factory,
+        players=tuple(players),
+        config=config,
+        network=NetworkSpec(delay_model=SynchronousDelay(delta=1.0, seed=42)),
+        workload=WorkloadSpec(transactions=tuple(transactions)),
+    ))
 
     print(f"system state: {result.system_state().name}")
     print(f"final blocks: {result.final_block_count()}\n")

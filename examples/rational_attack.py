@@ -19,8 +19,9 @@ from repro import (
     honest_roster,
     prft_factory,
     rational_player,
-    run_consensus,
+    run,
 )
+from repro import NetworkSpec, RunSpec
 from repro.analysis import check_accountability, render_table
 from repro.net.delays import FixedDelay
 
@@ -38,9 +39,10 @@ def run_world(strategy_name: str):
     players[RATIONAL_ID] = rational
 
     config = ProtocolConfig.for_prft(n=N, max_rounds=3, timeout=15.0)
-    return run_consensus(
-        prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=500.0
-    )
+    return run(RunSpec(
+        factory=prft_factory, players=tuple(players), config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0)), max_time=500.0,
+    ))
 
 
 def main() -> None:

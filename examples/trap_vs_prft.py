@@ -29,8 +29,9 @@ from repro import (
     honest_player,
     prft_factory,
     rational_player,
-    run_consensus,
+    run,
 )
+from repro import NetworkSpec, RunSpec
 from repro.agents.strategies import HonestStrategy, TrapRationalStrategy
 from repro.analysis import render_table
 from repro.gametheory.trap_game import (
@@ -76,10 +77,11 @@ def run_trap_fork():
     partitions = PartitionSchedule()
     partitions.add(Partition.of(ga, gb), 0.0, 50.0)
     config = ProtocolConfig.for_bft(n=n, max_rounds=1, timeout=60.0)
-    return run_consensus(
-        trap_factory, players, config,
-        delay_model=FixedDelay(1.0), partitions=partitions, max_time=80.0,
-    )
+    return run(RunSpec(
+        factory=trap_factory, players=tuple(players), config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
+        max_time=80.0,
+    ))
 
 
 def run_prft_defense():
@@ -97,10 +99,11 @@ def run_prft_defense():
     partitions = PartitionSchedule()
     partitions.add(Partition.of(collusion.split_a, collusion.split_b), 0.0, 50.0)
     config = ProtocolConfig.for_prft(n=n, max_rounds=2, timeout=80.0)
-    return run_consensus(
-        prft_factory, players, config,
-        delay_model=FixedDelay(1.0), partitions=partitions, max_time=300.0,
-    )
+    return run(RunSpec(
+        factory=prft_factory, players=tuple(players), config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
+        max_time=300.0,
+    ))
 
 
 def main() -> None:

@@ -8,15 +8,19 @@ a deterministic discrete-event simulation substrate to run them on.
 
 Quickstart::
 
-    from repro import (
-        ProtocolConfig, honest_roster, prft_factory, run_consensus,
-    )
+    from repro import ProtocolConfig, RunSpec, honest_roster, prft_factory, run
 
-    players = honest_roster(8)
-    config = ProtocolConfig.for_prft(n=8, max_rounds=3)
-    result = run_consensus(prft_factory, players, config)
+    spec = RunSpec(
+        factory=prft_factory,
+        players=tuple(honest_roster(8)),
+        config=ProtocolConfig.for_prft(n=8, max_rounds=3),
+    )
+    result = run(spec)
     print(result.system_state())          # SystemState.HONEST
     print(result.final_block_count())     # 3
+
+(The old flat-kwargs ``run_consensus`` survives as a deprecated shim
+over exactly this spec.)
 
 Scenario sweeps (grids of committee sizes, attacks, synchrony models,
 seeds) run through the experiment-orchestration layer::
@@ -61,7 +65,18 @@ from repro.net.delays import (
 )
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import RunResult, make_transactions, run_consensus
+from repro.protocols.runner import (
+    CryptoSpec,
+    FaultSpec,
+    NetworkSpec,
+    ProductionSpec,
+    RunResult,
+    RunSpec,
+    WorkloadSpec,
+    make_transactions,
+    run,
+    run_consensus,
+)
 from repro.checks import OracleReport, run_oracle
 from repro.experiments import (
     RunRecord,
@@ -89,9 +104,12 @@ __all__ = [
     "BaitingPolicy",
     "CensorshipStrategy",
     "Collusion",
+    "CryptoSpec",
     "EquivocateStrategy",
+    "FaultSpec",
     "FixedDelay",
     "HonestStrategy",
+    "NetworkSpec",
     "OracleReport",
     "PRFTReplica",
     "PartialSynchronyDelay",
@@ -99,10 +117,12 @@ __all__ = [
     "PartitionSchedule",
     "Player",
     "PlayerType",
+    "ProductionSpec",
     "ProtocolConfig",
     "Role",
     "RunRecord",
     "RunResult",
+    "RunSpec",
     "Scenario",
     "Strategy",
     "SweepResult",
@@ -110,6 +130,7 @@ __all__ = [
     "SystemState",
     "Transaction",
     "TrapGameParameters",
+    "WorkloadSpec",
     "assign_strategies",
     "build_baiting_game",
     "byzantine_player",
@@ -123,6 +144,7 @@ __all__ = [
     "prft_factory",
     "rational_player",
     "register_scenario",
+    "run",
     "run_consensus",
     "run_fuzz",
     "run_oracle",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import RunSpec, run
 from repro.sim.metrics import fit_exponent
 
 
@@ -55,8 +55,8 @@ def measure_complexity(
             config = config_builder(n)
         else:
             config = ProtocolConfig.for_prft(n=n, max_rounds=rounds)
-        players = [honest_player(i) for i in range(n)]
-        result = run_consensus(factory, players, config)
+        players = tuple(honest_player(i) for i in range(n))
+        result = run(RunSpec(factory=factory, players=players, config=config))
         count, size = result.metrics.per_round_average()
         messages.append(count)
         volumes.append(size)

@@ -199,7 +199,14 @@ class LivenessChecker(InvariantChecker):
         )
 
     def check(self, ctx: OracleContext) -> List[Violation]:
-        verdict = check_robustness(ctx.result, censored_tx_ids=ctx.censored_tx_ids)
+        # A pipelined run cut off mid-window can legitimately leave one
+        # replica up to pipeline_depth finalised blocks ahead of a
+        # laggard still flushing deferred commits; widen the run-end
+        # slack accordingly (depth 1 keeps the legacy slack of 1).
+        slack = max(1, int(getattr(ctx.scenario, "pipeline_depth", 1) or 1))
+        verdict = check_robustness(
+            ctx.result, censored_tx_ids=ctx.censored_tx_ids, liveness_slack=slack
+        )
         violations: List[Violation] = []
         progress_expected = self._progress_expected(ctx.scenario)
         if (

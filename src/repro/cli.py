@@ -143,6 +143,26 @@ def _add_run_arguments(
         help="continuous-workload run length in virtual time (replicas "
              "keep opening slots until it elapses or the load quiesces)",
     )
+    # Production flags follow the same None-means-unset convention, so
+    # catalog entries and scenario files keep their own ProductionSpec
+    # axes unless a flag is actually passed.
+    parser.add_argument(
+        "--pipeline-depth", type=int, default=None,
+        help="leaders may open up to this many slots speculatively "
+             "ahead of the commit frontier (scenario default: 1, the "
+             "legacy strictly-sequential loop)",
+    )
+    parser.add_argument(
+        "--block-txs", type=int, default=None,
+        help="per-block transaction cap for batched mempool drains "
+             "(scenario default: the protocol block_size)",
+    )
+    parser.add_argument(
+        "--coalesce-window", type=float, default=None,
+        help="batch open-loop client arrivals landing within this "
+             "window into one submission event (scenario default: 0, "
+             "submit each arrival immediately)",
+    )
     parser.add_argument(
         "--aggregate-certs", action="store_true",
         help="carry quorum certificates as aggregate signatures (one "
@@ -321,6 +341,14 @@ def _workload_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         overrides["outstanding"] = args.outstanding
     if bursts:
         overrides["burst_schedule"] = bursts
+    # Block-production axes ride the same override path: unset flags
+    # leave the resolved scenario's ProductionSpec alone.
+    if getattr(args, "pipeline_depth", None) is not None:
+        overrides["pipeline_depth"] = args.pipeline_depth
+    if getattr(args, "block_txs", None) is not None:
+        overrides["max_block_txs"] = args.block_txs
+    if getattr(args, "coalesce_window", None) is not None:
+        overrides["coalesce_window"] = args.coalesce_window
     return overrides
 
 

@@ -138,14 +138,36 @@ class PRFTReplica(BaseReplica):
             self.trace("halt", round=round_number)
             self.halt()
             return
+        # A slot the pipeline already opened speculatively just becomes
+        # the new frontier: timer armed, proposal out, backlog drained.
+        already_open = self.current_round < round_number <= self._highest_open
         self.current_round = round_number
+        self._highest_open = max(self._highest_open, round_number)
+        self._prune_pipeline_state()
         state = self.round_state(round_number)
+        if not already_open:
+            self.trace("round_start", round=round_number, leader=self.leader_of_round(round_number))
+            self._arm_round_timer(round_number)
+            if self.leader_of_round(round_number) == self.player_id:
+                self._propose(round_number)
+            backlog = self._future.pop(round_number, [])
+            for sender, payload in backlog:
+                self.handle_payload(sender, payload)
+        elif state.finalized:
+            # The slot already finalized out of order while speculative;
+            # its timer is gone, so fast-forward the frontier past it.
+            self._advance(round_number)
+            return
+        self._maybe_extend_window()
+
+    def _open_pipelined_round(self, round_number: int) -> None:
+        """Open a slot ahead of the frontier (pipeline_depth > 1)."""
+        self.round_state(round_number)
         self.trace("round_start", round=round_number, leader=self.leader_of_round(round_number))
         self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._propose(round_number)
-        backlog = self._future.pop(round_number, [])
-        for sender, payload in backlog:
+        for sender, payload in self._future.pop(round_number, []):
             self.handle_payload(sender, payload)
 
     def _arm_round_timer(self, round_number: int) -> None:
@@ -167,18 +189,21 @@ class PRFTReplica(BaseReplica):
     # Propose phase
     # ------------------------------------------------------------------
     def _build_block(self, round_number: int, conflict_marker: bool = False) -> Block:
-        candidates = self.mempool.select(self.config.block_size)
+        limit = self.block_tx_limit()
+        # Transactions inside acked-but-unfinalised window blocks are
+        # spoken for: a speculative slot must not re-propose them.
+        candidates = self.mempool.select(limit, censor=self._inflight_tx_ids())
         transactions = self.strategy.select_transactions(self, candidates)
         if conflict_marker:
             marker = Transaction(
                 tx_id=f"{ADVERSARIAL_MARKER_PREFIX}r{round_number}-p{self.player_id}",
                 payload="equivocation marker",
             )
-            transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])
+            transactions = [marker] + list(transactions[: max(0, limit - 1)])
         return Block(
             round_number=round_number,
             proposer=self.player_id,
-            parent_digest=self.chain.head().digest,
+            parent_digest=self.expected_parent_digest(round_number),
             transactions=tuple(transactions),
         )
 
@@ -209,7 +234,7 @@ class PRFTReplica(BaseReplica):
         round_number = getattr(payload, "round_number", None)
         if round_number is None:
             return
-        if round_number > self.current_round:
+        if round_number > self.dispatch_horizon():
             self._future.setdefault(round_number, []).append((sender, payload))
             return
         if round_number < self.current_round:
@@ -448,7 +473,7 @@ class PRFTReplica(BaseReplica):
         may_vote = not state.voted_digests or self.strategy.double_votes()
         if digest in state.voted_digests or not may_vote:
             return
-        if message.block.parent_digest != self.chain.head().digest:
+        if message.block.parent_digest != self.expected_parent_digest(round_number):
             self.trace("reject_parent", round=round_number, digest=digest[:12])
             return
         state.voted_digests.add(digest)
@@ -504,6 +529,11 @@ class PRFTReplica(BaseReplica):
             return
         if len(state.votes[digest]) < self.config.quorum_size:
             return
+        # Vote quorum = this slot's proposal is acknowledged: the
+        # pipeline may open the next slot on top of it.
+        acked_block = state.blocks.get(digest)
+        if acked_block is not None:
+            self._note_proposal_acked(round_number, acked_block)
         may_commit = not state.committed_digests or self.strategy.double_votes()
         if digest in state.committed_digests or not may_commit:
             return
@@ -651,7 +681,25 @@ class PRFTReplica(BaseReplica):
             if dropped:
                 self.trace("rollback", round=state.number, count=len(dropped))
             state.tentative_digest = None
+            self._sync_tentative_after_rollback()
         self._advance(state.number)
+
+    def _sync_tentative_after_rollback(self) -> None:
+        """Clear round states whose tentative block left the chain.
+
+        ``rollback_tentative`` drops the *whole* tentative suffix; with
+        a pipeline window open that can include later rounds'
+        speculative blocks, whose states must not keep pointing at
+        off-chain digests (their finalize paths re-append when their
+        evidence arrives).
+        """
+        for other in self._rounds.values():
+            if (
+                other.tentative_digest is not None
+                and not other.finalized
+                and self.chain.height_of(other.tentative_digest) is None
+            ):
+                other.tentative_digest = None
 
     def _finalize(self, state: RoundState, digest: str, broadcast_final: bool) -> None:
         if state.finalized:
@@ -664,8 +712,16 @@ class PRFTReplica(BaseReplica):
             if state.tentative_digest is not None:
                 self.chain.rollback_tentative()
                 state.tentative_digest = None
+                self._sync_tentative_after_rollback()
             if block.parent_digest != self.chain.head().digest:
                 self.trace("finalize_unlinked", round=state.number, digest=digest[:12])
+                if state.number > self.current_round:
+                    # Out-of-order finality inside the pipeline window:
+                    # park it until the predecessor slot lands.
+                    self._defer_finalize(
+                        state.number,
+                        lambda: self._finalize(state, digest, broadcast_final),
+                    )
                 return
             self.chain.append_tentative(block)
             state.tentative_digest = digest
@@ -687,6 +743,7 @@ class PRFTReplica(BaseReplica):
                 phase=Phase.FINAL.value,
             )
         self._advance(state.number)
+        self._flush_deferred_finalizes()
 
     def _on_final(self, sender: int, message: FinalMessage) -> None:
         round_number = message.round_number
@@ -720,7 +777,17 @@ class PRFTReplica(BaseReplica):
     # View change (Section 5.2)
     # ------------------------------------------------------------------
     def _on_round_timeout(self, round_number: int) -> None:
-        if self.halted or self.current_round != round_number:
+        if self.halted:
+            return
+        if round_number > self.current_round:
+            # A speculative slot's timer stays alive, but only the
+            # commit frontier retransmits or view-changes; a stalled
+            # slot acts once the frontier reaches it.
+            state = self.round_state(round_number)
+            if not state.finalized and not state.advanced:
+                self._arm_round_timer(round_number)
+            return
+        if self.current_round != round_number:
             return
         state = self.round_state(round_number)
         if state.finalized or state.advanced:

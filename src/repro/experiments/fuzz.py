@@ -217,6 +217,17 @@ def _draw_axes(rng: random.Random, profile: str) -> Dict[str, Any]:
     # oracle must find indistinguishable from the expanded one.
     if rng.random() < 0.25:
         fields["aggregate_certs"] = True
+    # Production axes are appended after the aggregate draw — again at
+    # the very end of the stream, so trials that predate them replay
+    # with identical axes.  Pipelined/batched production must land the
+    # same ledgers the sequential loop does, so the oracle envelope is
+    # unchanged.
+    if rng.random() < 0.3:
+        fields["pipeline_depth"] = rng.randint(2, 4)
+    if rng.random() < 0.25:
+        fields["max_block_txs"] = rng.choice((8, 16, 32))
+    if fields.get("workload") == "poisson" and rng.random() < 0.3:
+        fields["coalesce_window"] = round(rng.uniform(0.2, 1.5), 2)
     return fields
 
 
@@ -396,6 +407,12 @@ def _shrink_candidates(scenario: Scenario) -> List[Dict[str, Any]]:
         moves.append({"crypto_cache_size": DEFAULT_VERIFY_CACHE_SIZE})
     if scenario.aggregate_certs:
         moves.append({"aggregate_certs": False})
+    if scenario.pipeline_depth != 1:
+        moves.append({"pipeline_depth": 1})
+    if scenario.max_block_txs is not None:
+        moves.append({"max_block_txs": None})
+    if scenario.coalesce_window:
+        moves.append({"coalesce_window": 0.0})
     if scenario.thetas:
         moves.append({"thetas": ()})
     if scenario.tx_count is not None:

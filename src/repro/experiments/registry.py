@@ -57,6 +57,7 @@ from repro.protocols.runner import (
     CryptoSpec,
     FaultSpec,
     NetworkSpec,
+    ProductionSpec,
     RunResult,
     RunSpec,
     WorkloadSpec,
@@ -146,6 +147,17 @@ class Scenario:
     other field; arrival processes draw from the per-run seed, so one
     (scenario, seed) pair always replays identically.
 
+    Block production: ``pipeline_depth`` lets leaders open up to that
+    many slots speculatively ahead of the commit frontier (1, the
+    default, is the legacy strictly-sequential loop and replays
+    byte-identically); ``max_block_txs`` raises the per-block
+    transaction cap above ``block_size`` for batched drains of a deep
+    mempool; ``coalesce_window`` batches open-loop client arrivals that
+    fall within the window into one submission event.  The three
+    compile into the run's frozen
+    :class:`~repro.protocols.spec.ProductionSpec` and sweep like any
+    other field.
+
     Oracle: ``check_invariants`` runs the trace oracle
     (:mod:`repro.checks`) post-hoc over every execution of this
     scenario — ``Scenario.run`` attaches the report to the result, and
@@ -196,6 +208,9 @@ class Scenario:
     crypto_backend: str = DEFAULT_BACKEND
     crypto_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE
     aggregate_certs: bool = False
+    pipeline_depth: int = 1
+    max_block_txs: Optional[int] = None
+    coalesce_window: float = 0.0
     check_invariants: bool = False
     allow_unsound_crypto: bool = False
 
@@ -282,6 +297,10 @@ class Scenario:
         spec = self.build_workload_spec()
         if self.workload != "static":
             spec.build(self.build_config())
+        # Same owner-validates pattern for the production axes: the
+        # frozen ProductionSpec raises with its own message on a bad
+        # depth / cap / window.
+        self.build_production_spec()
         if not 0 <= self.loss_rate < 1:
             raise ValueError("loss_rate must lie in [0, 1)")
         if not 0 <= self.duplicate_rate <= 1:
@@ -404,6 +423,14 @@ class Scenario:
             return None
         return CrashSchedule.from_spec(self.crash_spec)
 
+    def build_production_spec(self) -> ProductionSpec:
+        """The declarative block-production half of the run spec."""
+        return ProductionSpec(
+            pipeline_depth=self.pipeline_depth,
+            max_block_txs=self.max_block_txs,
+            coalesce_window=self.coalesce_window,
+        )
+
     def build_workload_spec(self) -> WorkloadSpec:
         """The declarative client-workload half of the run spec."""
         if self.workload == "poisson":
@@ -457,6 +484,7 @@ class Scenario:
             ),
             faults=FaultSpec(crash_schedule=self.build_crash_schedule()),
             workload=self.build_workload_spec(),
+            production=self.build_production_spec(),
             seed=f"{self.name}/{seed}",
             max_time=self.effective_max_time(),
             max_events=self.max_events,

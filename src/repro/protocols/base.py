@@ -133,6 +133,10 @@ class ProtocolContext:
     # Wire-format axis: quorum justifications travel as AggregateQC
     # bitmaps instead of full statement sets (CryptoSpec.aggregate_certs).
     aggregate_certs: bool = False
+    # Block-production axis (ProductionSpec): slot pipelining depth,
+    # per-block transaction cap and client-side coalescing.  ``None``
+    # (hand-built contexts) behaves like the all-defaults spec.
+    production: Optional[Any] = None
 
     @property
     def trace(self):
@@ -160,6 +164,7 @@ class BaseReplica(ABC):
         self.keypair: KeyPair = ctx.registry.keypair_of(player.player_id)
         self.halted = False
         self.status = ReplicaStatus.UP
+        self._reset_pipeline_state()
         ctx.network.register(player.player_id, self._on_envelope)
 
     # ------------------------------------------------------------------
@@ -202,6 +207,166 @@ class BaseReplica(ABC):
     @abstractmethod
     def current_leader(self) -> int:
         """The current round's leader (used by censorship strategies)."""
+
+    # ------------------------------------------------------------------
+    # Pipelined block production (ProductionSpec)
+    # ------------------------------------------------------------------
+    # The commit frontier stays ``current_round``; pipelining opens a
+    # *window* of consecutive slots [current_round, _highest_open].  A
+    # slot may open speculatively — chained-HotStuff style — as soon as
+    # the previous slot's proposal is quorum-acknowledged, before it
+    # finalises.  Depth 1 (the default) degenerates to the strictly
+    # sequential legacy loop: the window is always one slot wide, no
+    # speculative state ever exists and every code path below is a
+    # no-op, which is what keeps the golden records byte-identical.
+
+    def _reset_pipeline_state(self) -> None:
+        """(Re)initialise the slot-window bookkeeping.
+
+        Called at construction and after crash recovery: speculation is
+        volatile, so a recovered replica rejoins with the window
+        collapsed onto its journalled frontier.
+        """
+        #: highest slot opened so far (>= current_round once rounds run).
+        self._highest_open: int = getattr(self, "current_round", 0)
+        #: round -> quorum-acknowledged block, for slots that acked but
+        #: have not finalised yet; the speculative parent chain.
+        self._acked_blocks: Dict[int, Any] = {}
+        #: round -> finalize retries parked until the parent lands.
+        self._deferred_commits: Dict[int, List[Callable[[], None]]] = {}
+        self._flushing_deferred = False
+
+    def pipeline_depth(self) -> int:
+        production = self.ctx.production
+        return production.pipeline_depth if production is not None else 1
+
+    def block_tx_limit(self) -> int:
+        """Per-block transaction cap: ProductionSpec override or the
+        legacy ``config.block_size``."""
+        production = self.ctx.production
+        if production is None or production.max_block_txs is None:
+            return self.config.block_size
+        return production.max_block_txs
+
+    def dispatch_horizon(self) -> int:
+        """Highest round whose traffic dispatches immediately.
+
+        Messages beyond the horizon stay in the protocol's ``_future``
+        buffer exactly as before; rounds inside the open window are
+        live even though they are ahead of the commit frontier.
+        """
+        return max(self.current_round, self._highest_open)
+
+    def expected_parent_digest(self, round_number: int) -> str:
+        """The parent a proposal for ``round_number`` should extend.
+
+        At the frontier that is the chain head; a speculative slot
+        chains onto the previous slot's quorum-acknowledged block.
+        Falls back to the chain head when no ack is recorded (e.g. a
+        replica that missed the ack but received the proposal) — the
+        finalize path re-checks linkage anyway.
+        """
+        if round_number > self.current_round:
+            prior = self._acked_blocks.get(round_number - 1)
+            if prior is not None:
+                return prior.digest
+        return self.chain.head().digest
+
+    def _inflight_tx_ids(self) -> set:
+        """Transactions inside acked-but-unfinalised window blocks.
+
+        A leader building a speculative block must not re-select them —
+        ``mark_included`` only runs at finalisation, which the window
+        slots have not reached yet.
+        """
+        inflight: set = set()
+        for number, block in self._acked_blocks.items():
+            if number >= self.current_round:
+                inflight.update(tx.tx_id for tx in block.transactions)
+        return inflight
+
+    def _note_proposal_acked(self, round_number: int, block: Any) -> None:
+        """Record that ``round_number``'s proposal is quorum-acked.
+
+        Every protocol calls this at its ack point (vote quorum for
+        pRFT, prepare quorum for pBFT/Polygraph/TRAP, the first QC for
+        HotStuff); it feeds the speculative parent chain and may extend
+        the open window.  At depth 1 this only records local state —
+        it schedules nothing and sends nothing.
+        """
+        self._acked_blocks[round_number] = block
+        self._maybe_extend_window()
+
+    def _maybe_extend_window(self) -> None:
+        """Open the next slot(s) while the pipeline has headroom.
+
+        A slot opens when the window is narrower than
+        ``pipeline_depth`` and the highest open slot's proposal is
+        already acked.  Opening never touches ``current_round``: the
+        protocol's ``_open_pipelined_round`` arms the new slot's timer,
+        lets this replica propose if it leads the slot, and drains any
+        buffered traffic for it.
+        """
+        if self.halted or self.status is not ReplicaStatus.UP:
+            return
+        while (
+            self._highest_open - self.current_round + 1 < self.pipeline_depth()
+            and self._highest_open in self._acked_blocks
+        ):
+            nxt = self._highest_open + 1
+            if self.round_limit_reached(nxt):
+                return
+            self._highest_open = nxt
+            self._open_pipelined_round(nxt)
+
+    def _open_pipelined_round(self, round_number: int) -> None:
+        """Protocol hook: open ``round_number`` ahead of the frontier.
+
+        Only reachable at depth > 1; protocols override it to create
+        round state, arm the round timer, propose when leading and
+        drain their ``_future`` buffer for the slot.  The base default
+        does nothing (a protocol that never overrides simply keeps the
+        sequential loop).
+        """
+
+    def _defer_finalize(self, round_number: int, retry: Callable[[], None]) -> None:
+        """Park a finalize whose parent has not landed on the chain yet.
+
+        Out-of-order commits inside the window are expected: slot r+1
+        can gather its commit quorum before slot r's does.  The retry
+        runs (in round order) every time an earlier slot finalises.
+        """
+        self._deferred_commits.setdefault(round_number, []).append(retry)
+        self.trace("finalize_deferred", round=round_number)
+
+    def _flush_deferred_finalizes(self) -> None:
+        """Re-attempt parked finalizes now that the chain head moved.
+
+        Runs rounds in ascending order so a chain of deferred slots
+        cascades in one pass; a retry that still cannot link simply
+        re-parks itself.  Reentrancy-guarded — a successful retry's own
+        finalize path calls back into this method.
+        """
+        if self._flushing_deferred:
+            return
+        self._flushing_deferred = True
+        try:
+            while self._deferred_commits:
+                number = min(self._deferred_commits)
+                retries = self._deferred_commits.pop(number)
+                before = self.chain.head().digest
+                for retry in retries:
+                    retry()
+                if self.chain.head().digest == before:
+                    # No progress: the missing parent is still missing.
+                    return
+        finally:
+            self._flushing_deferred = False
+
+    def _prune_pipeline_state(self) -> None:
+        """Drop window bookkeeping the frontier has moved past."""
+        for number in [n for n in self._acked_blocks if n < self.current_round]:
+            del self._acked_blocks[number]
 
     # ------------------------------------------------------------------
     # Crypto helpers
@@ -434,6 +599,9 @@ class BaseReplica(ABC):
         }
         self._init_volatile_state()
         self._rounds.update(keep)
+        # Speculation is volatile: rejoin with the slot window collapsed
+        # onto the journalled frontier and re-grow it from live traffic.
+        self._reset_pipeline_state()
         if self.round_limit_reached(self.current_round):
             self.halt()
             return

@@ -194,7 +194,26 @@ class HotStuffReplica(BaseReplica):
         if self.round_limit_reached(round_number):
             self.halt()
             return
+        already_open = self.current_round < round_number <= self._highest_open
         self.current_round = round_number
+        self._highest_open = max(self._highest_open, round_number)
+        self._prune_pipeline_state()
+        if not already_open:
+            self._arm_round_timer(round_number)
+            if self.leader_of_round(round_number) == self.player_id:
+                self._propose(round_number)
+            for sender, payload in self._future.pop(round_number, []):
+                self.handle_payload(sender, payload)
+        elif self._state(round_number).finalized:
+            # The slot decided while still speculative; its timer is
+            # long dead, so pace straight past it.
+            self._advance(round_number)
+            return
+        self._maybe_extend_window()
+
+    def _open_pipelined_round(self, round_number: int) -> None:
+        """Open a speculative slot ahead of the commit frontier."""
+        self._state(round_number)
         self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._propose(round_number)
@@ -214,6 +233,14 @@ class HotStuffReplica(BaseReplica):
         the late-certificate adoption path).
         """
         state = self._state(round_number)
+        if round_number > self.current_round:
+            # A speculative slot's timer never paces the frontier: the
+            # round either decides (deferred until its parent lands) or
+            # is re-driven once the frontier reaches it.  Keep the
+            # timer alive so the slot is re-checked.
+            if not state.finalized and not self.halted:
+                self._arm_round_timer(round_number)
+            return
         if not state.finalized and self.ctx.network.unreliable and not self.halted:
             state.timeouts += 1
             if state.timeouts == 1:
@@ -276,12 +303,13 @@ class HotStuffReplica(BaseReplica):
         self._start_round(round_number + 1)
 
     def _propose(self, round_number: int) -> None:
-        candidates = self.mempool.select(self.config.block_size)
+        limit = self.block_tx_limit()
+        candidates = self.mempool.select(limit, censor=self._inflight_tx_ids())
         transactions = self.strategy.select_transactions(self, candidates)
         block = Block(
             round_number=round_number,
             proposer=self.player_id,
-            parent_digest=self.chain.head().digest,
+            parent_digest=self.expected_parent_digest(round_number),
             transactions=tuple(transactions),
         )
         statement = make_statement(self.keypair, HS_PROPOSE, round_number, block.digest)
@@ -316,7 +344,7 @@ class HotStuffReplica(BaseReplica):
         round_number = getattr(payload, "round_number", None)
         if round_number is None:
             return
-        if round_number > self.current_round:
+        if round_number > self.dispatch_horizon():
             self._future.setdefault(round_number, []).append((sender, payload))
             return
         if isinstance(payload, HsNewView):
@@ -359,7 +387,7 @@ class HotStuffReplica(BaseReplica):
             return
         if message.block.digest != message.statement.digest:
             return
-        if message.block.parent_digest != self.chain.head().digest:
+        if message.block.parent_digest != self.expected_parent_digest(round_number):
             return
         state.blocks.setdefault(message.digest, message.block)
         self._vote(state, HS_PHASES[0], message.digest)
@@ -405,6 +433,13 @@ class HotStuffReplica(BaseReplica):
             round_number=round_number,
             phase=statement.phase,
         )
+        if statement.phase == HS_PHASES[0]:
+            block = state.blocks.get(statement.digest)
+            if block is None and state.sent_proposal is not None:
+                if state.sent_proposal.digest == statement.digest:
+                    block = state.sent_proposal.block
+            if block is not None:
+                self._note_proposal_acked(round_number, block)
 
     def _build_certificate(
         self,
@@ -490,6 +525,10 @@ class HotStuffReplica(BaseReplica):
             state.decide_certificate = certificate
             self._decide(state, certificate.digest)
             return
+        if certificate.phase == HS_PHASES[0]:
+            block = state.blocks.get(certificate.digest)
+            if block is not None:
+                self._note_proposal_acked(round_number, block)
         self._vote(state, HS_PHASES[phase_index + 1], certificate.digest)
 
     # ------------------------------------------------------------------
@@ -617,7 +656,13 @@ class HotStuffReplica(BaseReplica):
         if state.finalized:
             return
         block = state.blocks.get(digest)
-        if block is None or block.parent_digest != self.chain.head().digest:
+        if block is None:
+            return
+        if block.parent_digest != self.chain.head().digest:
+            if state.number > self.current_round:
+                # A speculative slot decided before its parent landed:
+                # park the decide until the frontier catches up.
+                self._defer_finalize(state.number, lambda: self._decide(state, digest))
             return
         state.finalized = True
         state.decided_digest = digest
@@ -628,6 +673,7 @@ class HotStuffReplica(BaseReplica):
         self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         self._advance(state.number)
+        self._flush_deferred_finalizes()
 
 
 def hotstuff_factory(player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> HotStuffReplica:

@@ -143,7 +143,28 @@ class PBFTReplica(BaseReplica):
         if self.round_limit_reached(round_number):
             self.halt()
             return
+        # A slot the pipeline already opened speculatively just becomes
+        # the new frontier: its timer is armed, its proposal is out and
+        # its buffered traffic was drained at open time.
+        already_open = self.current_round < round_number <= self._highest_open
         self.current_round = round_number
+        self._highest_open = max(self._highest_open, round_number)
+        self._prune_pipeline_state()
+        if not already_open:
+            self._arm_round_timer(round_number)
+            if self.leader_of_round(round_number) == self.player_id:
+                self._preprepare(round_number)
+            for sender, payload in self._future.pop(round_number, []):
+                self.handle_payload(sender, payload)
+        elif self._state(round_number).finalized:
+            # The slot already finalized out of order while speculative;
+            # its timer is gone, so fast-forward the frontier past it.
+            self._advance(round_number)
+            return
+        self._maybe_extend_window()
+
+    def _open_pipelined_round(self, round_number: int) -> None:
+        """Open a slot ahead of the frontier (pipeline_depth > 1)."""
         self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._preprepare(round_number)
@@ -167,17 +188,20 @@ class PBFTReplica(BaseReplica):
 
     # ------------------------------------------------------------------
     def _build_block(self, round_number: int, conflict_marker: bool = False) -> Block:
-        candidates = self.mempool.select(self.config.block_size)
+        limit = self.block_tx_limit()
+        # Transactions inside acked-but-unfinalised window blocks are
+        # spoken for: a speculative slot must not re-propose them.
+        candidates = self.mempool.select(limit, censor=self._inflight_tx_ids())
         transactions = self.strategy.select_transactions(self, candidates)
         if conflict_marker:
             from repro.ledger.transaction import Transaction
 
             marker = Transaction(tx_id=f"{ADVERSARIAL_MARKER_PREFIX}r{round_number}-p{self.player_id}")
-            transactions = [marker] + list(transactions[: max(0, self.config.block_size - 1)])
+            transactions = [marker] + list(transactions[: max(0, limit - 1)])
         return Block(
             round_number=round_number,
             proposer=self.player_id,
-            parent_digest=self.chain.head().digest,
+            parent_digest=self.expected_parent_digest(round_number),
             transactions=tuple(transactions),
         )
 
@@ -203,7 +227,7 @@ class PBFTReplica(BaseReplica):
         round_number = getattr(payload, "round_number", None)
         if round_number is None:
             return
-        if round_number > self.current_round:
+        if round_number > self.dispatch_horizon():
             self._future.setdefault(round_number, []).append((sender, payload))
             return
         if round_number < self.current_round:
@@ -239,7 +263,7 @@ class PBFTReplica(BaseReplica):
         may_sign = not state.prepared_digests or self.strategy.double_votes()
         if digest in state.prepared_digests or not may_sign:
             return
-        if message.block.parent_digest != self.chain.head().digest:
+        if message.block.parent_digest != self.expected_parent_digest(round_number):
             return
         state.prepared_digests.add(digest)
         statement = make_statement(self.keypair, PREPARE, round_number, digest)
@@ -261,6 +285,11 @@ class PBFTReplica(BaseReplica):
         state.prepares.setdefault(digest, {})[sender] = message.statement
         if len(state.prepares[digest]) < self.config.quorum_size:
             return
+        # Prepare quorum = this slot's proposal is acknowledged: the
+        # pipeline may open the next slot on top of it.
+        block = state.blocks.get(digest)
+        if block is not None:
+            self._note_proposal_acked(round_number, block)
         may_sign = not state.committed_digests or self.strategy.double_votes()
         if digest in state.committed_digests or not may_sign:
             return
@@ -348,7 +377,15 @@ class PBFTReplica(BaseReplica):
 
     def _finalize(self, state: _PbftRound, digest: str) -> None:
         block = state.blocks.get(digest)
-        if block is None or block.parent_digest != self.chain.head().digest:
+        if block is None:
+            return
+        if block.parent_digest != self.chain.head().digest:
+            if state.number > self.current_round and not state.finalized:
+                # Out-of-order commit inside the pipeline window: park
+                # it until the predecessor slot lands on the chain.
+                self._defer_finalize(
+                    state.number, lambda: self._finalize(state, digest)
+                )
             return
         state.finalized = True
         state.decided_digest = digest
@@ -359,10 +396,20 @@ class PBFTReplica(BaseReplica):
         self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         self._advance(state.number)
+        self._flush_deferred_finalizes()
 
     # ------------------------------------------------------------------
     def _on_timeout(self, round_number: int) -> None:
-        if self.halted or self.current_round != round_number:
+        if self.halted:
+            return
+        if round_number > self.current_round:
+            # A speculative slot's timer stays alive, but only the
+            # commit frontier retransmits or view-changes; a stalled
+            # slot acts once the frontier reaches it.
+            if not self._state(round_number).finalized:
+                self._arm_round_timer(round_number)
+            return
+        if self.current_round != round_number:
             return
         state = self._state(round_number)
         if state.finalized:

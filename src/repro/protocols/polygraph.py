@@ -170,7 +170,27 @@ class PolygraphReplica(BaseReplica):
         if self.round_limit_reached(round_number):
             self.halt()
             return
+        # A slot the pipeline already opened speculatively just becomes
+        # the new frontier: timer armed, proposal out, backlog drained.
+        already_open = self.current_round < round_number <= self._highest_open
         self.current_round = round_number
+        self._highest_open = max(self._highest_open, round_number)
+        self._prune_pipeline_state()
+        if not already_open:
+            self._arm_round_timer(round_number)
+            if self.leader_of_round(round_number) == self.player_id:
+                self._propose(round_number)
+            for sender, payload in self._future.pop(round_number, []):
+                self.handle_payload(sender, payload)
+        elif self._state(round_number).finalized:
+            # The slot already finalized out of order while speculative;
+            # its timer is gone, so fast-forward the frontier past it.
+            self._advance(round_number)
+            return
+        self._maybe_extend_window()
+
+    def _open_pipelined_round(self, round_number: int) -> None:
+        """Open a slot ahead of the frontier (pipeline_depth > 1)."""
         self._arm_round_timer(round_number)
         if self.leader_of_round(round_number) == self.player_id:
             self._propose(round_number)
@@ -224,12 +244,16 @@ class PolygraphReplica(BaseReplica):
 
     # ------------------------------------------------------------------
     def _propose(self, round_number: int) -> None:
-        candidates = self.mempool.select(self.config.block_size)
+        limit = self.block_tx_limit()
+        parent_digest = self.expected_parent_digest(round_number)
+        # Transactions inside acked-but-unfinalised window blocks are
+        # spoken for: a speculative slot must not re-propose them.
+        candidates = self.mempool.select(limit, censor=self._inflight_tx_ids())
         transactions = self.strategy.select_transactions(self, candidates)
         block = Block(
             round_number=round_number,
             proposer=self.player_id,
-            parent_digest=self.chain.head().digest,
+            parent_digest=parent_digest,
             transactions=tuple(transactions),
         )
         statement = make_statement(self.keypair, PG_PROPOSE, round_number, block.digest)
@@ -243,8 +267,8 @@ class PolygraphReplica(BaseReplica):
             alt_block = Block(
                 round_number=round_number,
                 proposer=self.player_id,
-                parent_digest=self.chain.head().digest,
-                transactions=(marker,) + tuple(transactions[: self.config.block_size - 1]),
+                parent_digest=parent_digest,
+                transactions=(marker,) + tuple(transactions[: limit - 1]),
             )
             alt_statement = make_statement(self.keypair, PG_PROPOSE, round_number, alt_block.digest)
             return PgPropose(block=alt_block, statement=alt_statement)
@@ -262,7 +286,7 @@ class PolygraphReplica(BaseReplica):
         round_number = getattr(payload, "round_number", None)
         if round_number is None:
             return
-        if round_number > self.current_round:
+        if round_number > self.dispatch_horizon():
             self._future.setdefault(round_number, []).append((sender, payload))
             return
         if round_number < self.current_round:
@@ -329,7 +353,7 @@ class PolygraphReplica(BaseReplica):
         may_sign = not state.prepared_digests or self.strategy.double_votes()
         if digest in state.prepared_digests or not may_sign:
             return
-        if message.block.parent_digest != self.chain.head().digest:
+        if message.block.parent_digest != self.expected_parent_digest(round_number):
             return
         state.prepared_digests.add(digest)
         statement = make_statement(self.keypair, PG_PREPARE, round_number, digest)
@@ -351,6 +375,11 @@ class PolygraphReplica(BaseReplica):
         state.prepares.setdefault(digest, {})[sender] = message.statement
         if len(state.prepares[digest]) < self.config.quorum_size:
             return
+        # Prepare quorum = this slot's proposal is acknowledged: the
+        # pipeline may open the next slot on top of it.
+        acked_block = state.blocks.get(digest)
+        if acked_block is not None:
+            self._note_proposal_acked(round_number, acked_block)
         may_sign = not state.committed_digests or self.strategy.double_votes()
         if digest in state.committed_digests or not may_sign:
             return
@@ -448,7 +477,15 @@ class PolygraphReplica(BaseReplica):
 
     def _finalize(self, state: _PgRound, digest: str) -> None:
         block = state.blocks.get(digest)
-        if block is None or block.parent_digest != self.chain.head().digest:
+        if block is None:
+            return
+        if block.parent_digest != self.chain.head().digest:
+            if state.number > self.current_round and not state.finalized:
+                # Out-of-order commit inside the pipeline window: park
+                # it until the predecessor slot lands on the chain.
+                self._defer_finalize(
+                    state.number, lambda: self._finalize(state, digest)
+                )
             return
         state.finalized = True
         state.decided_digest = digest
@@ -459,10 +496,20 @@ class PolygraphReplica(BaseReplica):
         self.note_block_finalized(block)
         self.trace("final", round=state.number, digest=digest[:12])
         self._advance(state.number)
+        self._flush_deferred_finalizes()
 
     # ------------------------------------------------------------------
     def _on_timeout(self, round_number: int) -> None:
-        if self.halted or self.current_round != round_number:
+        if self.halted:
+            return
+        if round_number > self.current_round:
+            # A speculative slot's timer stays alive, but only the
+            # commit frontier retransmits or view-changes; a stalled
+            # slot acts once the frontier reaches it.
+            if not self._state(round_number).finalized:
+                self._arm_round_timer(round_number)
+            return
+        if self.current_round != round_number:
             return
         state = self._state(round_number)
         if state.finalized:

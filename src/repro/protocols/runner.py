@@ -18,6 +18,7 @@ identically.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
@@ -39,6 +40,7 @@ from repro.protocols.spec import (
     CryptoSpec,
     FaultSpec,
     NetworkSpec,
+    ProductionSpec,
     ReplicaFactory,
     RunSpec,
     WorkloadSpec,
@@ -56,6 +58,7 @@ __all__ = [
     "CryptoSpec",
     "FaultSpec",
     "WorkloadSpec",
+    "ProductionSpec",
     "Deployment",
     "RunResult",
     "build_context",
@@ -77,6 +80,7 @@ def build_context(
     duplicate_rate: float = 0.0,
     reorder_jitter: float = 0.0,
     aggregate_certs: bool = False,
+    production: Optional[ProductionSpec] = None,
 ) -> ProtocolContext:
     """Assemble engine, network, PKI and collateral for a deployment.
 
@@ -115,6 +119,7 @@ def build_context(
         registry=registry,
         collateral=collateral,
         aggregate_certs=aggregate_certs,
+        production=production or ProductionSpec(),
     )
 
 
@@ -223,6 +228,7 @@ class Deployment:
             loss_rate=spec.network.loss_rate,
             duplicate_rate=spec.network.duplicate_rate,
             reorder_jitter=spec.network.reorder_jitter,
+            production=spec.production,
         )
         # Client-visible commits are what honest replicas finalise; a
         # deviator's lone fork block never counts.
@@ -239,7 +245,9 @@ class Deployment:
             self.ctx.network.mark_unreliable()
             spec.faults.crash_schedule.install(self.ctx.engine, self.replicas)
 
-        self.workload: Workload = spec.workload.build(config, seed=spec.seed)
+        self.workload: Workload = spec.workload.build(
+            config, seed=spec.seed, production=spec.production
+        )
         self.ctx.workload = self.workload
         self.workload.install(self.ctx, self.replicas)
         self._executed = False
@@ -306,8 +314,16 @@ def run_consensus(
     Folds its arguments into a :class:`RunSpec` (a static-batch
     workload with the historical default of
     ``2 · block_size · max_rounds`` generated transactions) and
-    executes it.  New code should build a ``RunSpec`` directly.
+    executes it.  New code should build a ``RunSpec`` directly — this
+    shim now says so out loud with a :class:`DeprecationWarning`
+    (results stay byte-identical; only the warning is new).
     """
+    warnings.warn(
+        "run_consensus is a compatibility shim: build a RunSpec and call "
+        "run(spec) (or spec.derive(...) an existing one) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     spec = RunSpec(
         factory=factory,
         players=tuple(players),

@@ -24,7 +24,7 @@ callable survives as a thin shim that builds one of these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.agents.player import Player
@@ -162,8 +162,18 @@ class WorkloadSpec:
     def continuous(self) -> bool:
         return self.kind != "static"
 
-    def build(self, config: ProtocolConfig, seed: str = "default") -> Workload:
-        """Materialise the workload for one run."""
+    def build(
+        self,
+        config: ProtocolConfig,
+        seed: str = "default",
+        production: Optional["ProductionSpec"] = None,
+    ) -> Workload:
+        """Materialise the workload for one run.
+
+        ``production`` threads the client-side coalescing window into
+        open-loop arrival processes; ``None`` (or a zero window) keeps
+        the legacy one-event-per-arrival schedule.
+        """
         if self.kind == "static":
             if self.transactions is not None:
                 batch: Sequence[Transaction] = self.transactions
@@ -176,11 +186,76 @@ class WorkloadSpec:
             raise ValueError(
                 f"the {self.kind!r} workload is continuous and needs config.duration"
             )
+        coalesce = production.coalesce_window if production is not None else 0.0
         if self.kind == "poisson":
-            return PoissonOpenLoop(self.rate, duration=config.duration, seed=seed)
+            return PoissonOpenLoop(
+                self.rate,
+                duration=config.duration,
+                seed=seed,
+                coalesce_window=coalesce,
+            )
         if self.kind == "closed":
             return ClosedLoop(self.outstanding, duration=config.duration)
         return Burst(self.bursts, duration=config.duration)
+
+
+@dataclass(frozen=True)
+class ProductionSpec:
+    """How leaders turn the mempool into blocks.
+
+    Defaults reproduce the legacy pipeline exactly: one slot in flight
+    at a time, ``config.block_size`` transactions per block, one engine
+    event per client arrival.
+
+    - ``pipeline_depth`` — how many consecutive slots a leader may hold
+      open at once, chained-HotStuff style: slot ``r + 1`` opens as soon
+      as slot ``r``'s proposal is quorum-acknowledged, up to ``depth``
+      slots ahead of the commit frontier.  Depth 1 is strictly
+      sequential (today's behaviour).
+    - ``max_block_txs`` — cap on mempool transactions drained into one
+      block; ``None`` defers to ``config.block_size`` (the legacy cap).
+    - ``coalesce_window`` — open-loop client arrivals landing within
+      this window are submitted as one batched engine event, so event
+      count scales with batches rather than transactions.  ``0.0``
+      keeps one event per arrival.
+    """
+
+    pipeline_depth: int = 1
+    max_block_txs: Optional[int] = None
+    coalesce_window: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
+        if self.max_block_txs is not None and self.max_block_txs < 1:
+            raise ValueError("max_block_txs must be at least 1 when set")
+        if self.coalesce_window < 0:
+            raise ValueError("coalesce_window must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any knob departs from the legacy defaults."""
+        return (
+            self.pipeline_depth > 1
+            or self.max_block_txs is not None
+            or self.coalesce_window > 0
+        )
+
+    def block_tx_limit(self, config: ProtocolConfig) -> int:
+        """The effective per-block transaction cap for ``config``."""
+        return self.max_block_txs if self.max_block_txs is not None else config.block_size
+
+    def replace(self, **changes: object) -> "ProductionSpec":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return _dc_replace(self, **changes)
+
+
+# The ``replace`` idiom on every sub-spec: frozen dataclasses already
+# support ``dataclasses.replace``, but exposing it as a method keeps
+# call sites short and re-runs ``__post_init__`` validation.
+for _spec_cls in (NetworkSpec, CryptoSpec, FaultSpec, WorkloadSpec):
+    _spec_cls.replace = _dc_replace  # type: ignore[attr-defined]
+del _spec_cls
 
 
 @dataclass(frozen=True)
@@ -200,6 +275,7 @@ class RunSpec:
     crypto: CryptoSpec = field(default_factory=CryptoSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    production: ProductionSpec = field(default_factory=ProductionSpec)
     seed: str = "default"
     max_time: float = 10_000.0
     max_events: int = 2_000_000
@@ -222,3 +298,26 @@ class RunSpec:
     @property
     def player_ids(self) -> Tuple[int, ...]:
         return tuple(sorted(p.player_id for p in self.players))
+
+    def derive(self, **overrides: object) -> "RunSpec":
+        """A copy of this spec with ``overrides`` applied.
+
+        Top-level field names (``seed=...``, ``config=...``) replace the
+        field outright.  Sub-spec fields also accept a plain dict, which
+        is folded into the *existing* sub-spec via its ``replace`` — so
+        flipping one knob never hand-reconstructs a spec tree::
+
+            spec.derive(seed="sweep/3",
+                        network={"loss_rate": 0.05},
+                        production={"pipeline_depth": 4})
+
+        Validation re-runs on every derived spec.
+        """
+        sub_specs = ("network", "crypto", "faults", "workload", "production")
+        changes = {}
+        for name, value in overrides.items():
+            if name in sub_specs and isinstance(value, dict):
+                changes[name] = _dc_replace(getattr(self, name), **value)
+            else:
+                changes[name] = value
+        return _dc_replace(self, **changes)

@@ -17,8 +17,9 @@ identical arrival sequence.
 from __future__ import annotations
 
 import random
-from typing import Any, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
+from repro.ledger.transaction import Transaction
 from repro.workloads.base import Workload
 
 
@@ -27,20 +28,38 @@ class PoissonOpenLoop(Workload):
 
     Arrivals stop at ``duration``; the run then drains what is already
     in flight and quiesces.
+
+    With ``coalesce_window > 0`` arrivals are held client-side and
+    flushed as one batched submission ``coalesce_window`` after the
+    first held arrival — modelling client batching at the cost of up to
+    one window of extra submit latency.  At ``0.0`` (the default) every
+    arrival submits immediately, so the legacy event sequence is
+    replayed byte-identically.
     """
 
     kind = "poisson"
 
-    def __init__(self, rate: float, duration: float, seed: str = "default") -> None:
+    def __init__(
+        self,
+        rate: float,
+        duration: float,
+        seed: str = "default",
+        coalesce_window: float = 0.0,
+    ) -> None:
         super().__init__()
         if rate <= 0:
             raise ValueError("rate must be positive")
         if duration <= 0:
             raise ValueError("duration must be positive")
+        if coalesce_window < 0:
+            raise ValueError("coalesce_window must be non-negative")
         self.rate = rate
         self.duration = duration
+        self.coalesce_window = coalesce_window
         self._rng = random.Random(f"poisson-workload/{seed}")
         self._exhausted = False
+        self._held: List[Transaction] = []
+        self._flush_scheduled = False
 
     def _start(self, ctx: Any) -> None:
         self._schedule_next()
@@ -53,11 +72,26 @@ class PoissonOpenLoop(Workload):
         self._engine.schedule(gap, self._arrive, label="poisson-arrival")
 
     def _arrive(self) -> None:
-        self.submit([self._next_transaction()])
+        if self.coalesce_window > 0:
+            self._held.append(self._next_transaction())
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self._engine.schedule(
+                    self.coalesce_window, self._flush, label="poisson-coalesce-flush"
+                )
+        else:
+            self.submit([self._next_transaction()])
         self._schedule_next()
 
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._held:
+            return
+        batch, self._held = self._held, []
+        self.submit(batch)
+
     def finished(self, now: float) -> bool:
-        return self._exhausted
+        return self._exhausted and not self._held
 
 
 class Burst(Workload):

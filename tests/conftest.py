@@ -17,7 +17,7 @@ from repro.gametheory.payoff import PlayerType
 from repro.net.delays import DelayModel, FixedDelay
 from repro.net.partition import PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import RunResult, run_consensus
+from repro.protocols.runner import NetworkSpec, RunResult, RunSpec, run
 
 
 def pytest_collection_modifyitems(config, items):
@@ -59,14 +59,13 @@ def run_prft(
     """Run pRFT with its paper configuration (t0 = ⌈n/4⌉ − 1)."""
     n = n if n is not None else len(players)
     config = ProtocolConfig.for_prft(n=n, max_rounds=max_rounds, **config_overrides)
-    return run_consensus(
-        prft_factory,
-        players,
-        config,
-        delay_model=delay or FixedDelay(1.0),
-        partitions=partitions,
+    return run(RunSpec(
+        factory=prft_factory,
+        players=tuple(players),
+        config=config,
+        network=NetworkSpec(delay_model=delay or FixedDelay(1.0), partitions=partitions),
         max_time=max_time,
-    )
+    ))
 
 
 def fork_collusion(players: List[Player]) -> Collusion:

@@ -18,7 +18,7 @@ from repro.protocols.base import ProtocolConfig
 from repro.protocols.hotstuff import hotstuff_factory
 from repro.protocols.pbft import pbft_factory
 from repro.protocols.polygraph import polygraph_factory
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import NetworkSpec, RunSpec, run
 from repro.protocols.trap import trap_factory
 
 from tests.conftest import roster
@@ -34,14 +34,13 @@ ALL_BASELINES = [
 def _run(factory, players, n=None, max_rounds=3, partitions=None, max_time=10_000.0, **overrides):
     n = n if n is not None else len(players)
     config = ProtocolConfig.for_bft(n=n, max_rounds=max_rounds, **overrides)
-    return run_consensus(
-        factory,
-        players,
-        config,
-        delay_model=FixedDelay(1.0),
-        partitions=partitions,
+    return run(RunSpec(
+        factory=factory,
+        players=tuple(players),
+        config=config,
+        network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
         max_time=max_time,
-    )
+    ))
 
 
 class TestHonestRuns:
@@ -81,8 +80,12 @@ class TestMessagePatterns:
         n = 10
         config_pg = ProtocolConfig.for_bft(n=n, max_rounds=2)
         config_prft = ProtocolConfig.for_prft(n=n, max_rounds=2)
-        polygraph = run_consensus(polygraph_factory, roster(n), config_pg)
-        prft = run_consensus(prft_factory, roster(n), config_prft)
+        polygraph = run(RunSpec(
+            factory=polygraph_factory, players=tuple(roster(n)), config=config_pg
+        ))
+        prft = run(RunSpec(
+            factory=prft_factory, players=tuple(roster(n)), config=config_prft
+        ))
         ratio = prft.metrics.total_bytes / polygraph.metrics.total_bytes
         assert ratio < 4.0
 
@@ -105,14 +108,13 @@ class TestPbftSilentFork:
         config = ProtocolConfig(n=n, t0=t0, max_rounds=1, timeout=50.0)
         partitions = PartitionSchedule()
         partitions.add(Partition.of(ga, gb), 0.0, 40.0)
-        return run_consensus(
-            factory,
-            players,
-            config,
-            delay_model=FixedDelay(1.0),
-            partitions=partitions,
+        return run(RunSpec(
+            factory=factory,
+            players=tuple(players),
+            config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
             max_time=60.0,
-        )
+        ))
 
     def test_pbft_forks_silently(self):
         result = self._attack(pbft_factory, t0=3)
@@ -171,14 +173,13 @@ class TestTrapBaiting:
         partitions = PartitionSchedule()
         partitions.add(Partition.of(ga, gb), 0.0, 50.0)
         config = ProtocolConfig.for_bft(n=n, max_rounds=1, timeout=60.0)
-        return run_consensus(
-            trap_factory,
-            players,
-            config,
-            delay_model=FixedDelay(1.0),
-            partitions=partitions,
+        return run(RunSpec(
+            factory=trap_factory,
+            players=tuple(players),
+            config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
             max_time=80.0,
-        )
+        ))
 
     def test_all_suppress_forks_unpunished(self):
         policies = {1: BaitingPolicy.SUPPRESS, 2: BaitingPolicy.SUPPRESS, 4: BaitingPolicy.SUPPRESS}

@@ -13,7 +13,7 @@ from repro.gametheory.states import SystemState
 from repro.net.delays import FixedDelay
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import NetworkSpec, RunSpec, run
 
 from tests.conftest import roster
 
@@ -47,9 +47,10 @@ class TestUpperViolation:
         players[7].strategy = AbstainStrategy()
         players[8].strategy = AbstainStrategy()
         config = ProtocolConfig(n=n, t0=t0, quorum=n, max_rounds=2, timeout=10.0)
-        result = run_consensus(
-            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=200.0
-        )
+        result = run(RunSpec(
+            factory=prft_factory, players=tuple(players), config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0)), max_time=200.0,
+        ))
         assert result.system_state() is SystemState.NO_PROGRESS
 
     def test_same_faults_fine_at_valid_quorum(self):
@@ -58,9 +59,10 @@ class TestUpperViolation:
         players[7].strategy = AbstainStrategy()
         players[8].strategy = AbstainStrategy()
         config = ProtocolConfig(n=n, t0=t0, max_rounds=2, timeout=20.0)
-        result = run_consensus(
-            prft_factory, players, config, delay_model=FixedDelay(1.0), max_time=300.0
-        )
+        result = run(RunSpec(
+            factory=prft_factory, players=tuple(players), config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0)), max_time=300.0,
+        ))
         assert result.final_block_count() == 2
 
 
@@ -80,14 +82,13 @@ class TestLowerViolation:
         config = ProtocolConfig(n=n, t0=2, quorum=quorum, max_rounds=1, timeout=50.0)
         partitions = PartitionSchedule()
         partitions.add(Partition.of(ga, gb), 0.0, 40.0)
-        return run_consensus(
-            prft_factory,
-            players,
-            config,
-            delay_model=FixedDelay(1.0),
-            partitions=partitions,
+        return run(RunSpec(
+            factory=prft_factory,
+            players=tuple(players),
+            config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
             max_time=45.0,
-        )
+        ))
 
     def test_agreement_fails_below_window(self):
         window_low = ProtocolConfig(n=9, t0=2).admissible_quorum_window.start

@@ -11,7 +11,7 @@ from repro.gametheory.states import SystemState
 from repro.net.delays import FixedDelay
 from repro.net.partition import Partition, PartitionSchedule
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import run_consensus
+from repro.protocols.runner import NetworkSpec, RunSpec, run
 from repro.core.replica import prft_factory
 
 from tests.conftest import (
@@ -148,14 +148,13 @@ class TestBoundaryViolations:
         config = ProtocolConfig(n=n, t0=t0, max_rounds=1, timeout=50.0)
         partitions = PartitionSchedule()
         partitions.add(Partition.of(collusion.split_a, collusion.split_b), 0.0, 40.0)
-        return run_consensus(
-            prft_factory,
-            players,
-            config,
-            delay_model=FixedDelay(1.0),
-            partitions=partitions,
+        return run(RunSpec(
+            factory=prft_factory,
+            players=tuple(players),
+            config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0), partitions=partitions),
             max_time=45.0,
-        )
+        ))
 
     def test_fork_succeeds_with_violated_t0(self):
         result = self._forked_run(t0=3)  # t0 = 3 >= n/4, quorum drops to 6

@@ -12,7 +12,13 @@ from repro.core.replica import prft_factory
 from repro.gametheory.payoff import PlayerType
 from repro.ledger.transaction import Transaction
 from repro.protocols.base import ProtocolConfig
-from repro.protocols.runner import make_transactions, run_consensus
+from repro.protocols.runner import (
+    NetworkSpec,
+    RunSpec,
+    WorkloadSpec,
+    make_transactions,
+    run,
+)
 
 from tests.conftest import roster, run_prft
 
@@ -65,7 +71,7 @@ class TestRunner:
         config = ProtocolConfig.for_prft(n=3)
         players = [honest_player(i) for i in (0, 1, 5)]
         with pytest.raises(ValueError):
-            run_consensus(prft_factory, players, config)
+            run(RunSpec(factory=prft_factory, players=tuple(players), config=config))
 
     def test_make_transactions(self):
         txs = make_transactions(3, prefix="p")
@@ -79,9 +85,11 @@ class TestRunner:
         config = ProtocolConfig.for_prft(n=4, max_rounds=1)
         from repro.net.delays import FixedDelay
 
-        explicit = run_consensus(
-            prft_factory, roster(4), config, delay_model=FixedDelay(1.0), transactions=txs
-        )
+        explicit = run(RunSpec(
+            factory=prft_factory, players=tuple(roster(4)), config=config,
+            network=NetworkSpec(delay_model=FixedDelay(1.0)),
+            workload=WorkloadSpec(transactions=tuple(txs)),
+        ))
         assert explicit.submitted_tx_ids == ["only-tx"]
         chain = next(iter(explicit.honest_chains().values()))
         assert chain.contains_transaction("only-tx", final_only=True)

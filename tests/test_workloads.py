@@ -82,7 +82,8 @@ class TestSpecs:
     def test_minimal_runspec_equals_legacy_shim(self):
         config = ProtocolConfig.for_prft(n=5, max_rounds=2)
         via_spec = run(RunSpec(factory=prft_factory, players=players_of(5), config=config))
-        via_shim = run_consensus(prft_factory, list(players_of(5)), config)
+        with pytest.warns(DeprecationWarning, match="compatibility shim"):
+            via_shim = run_consensus(prft_factory, list(players_of(5)), config)
         assert via_spec.submitted_tx_ids == via_shim.submitted_tx_ids
         assert via_spec.final_block_count() == via_shim.final_block_count()
         assert via_spec.metrics.total_messages == via_shim.metrics.total_messages
