@@ -6,7 +6,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining pipelining-smoke large-n-smoke example clean
+.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining bench-soak soak-smoke pipelining-smoke large-n-smoke example clean
 
 check: test smoke catalog-check
 	@echo "check: OK"
@@ -47,7 +47,8 @@ bench:
 # which uploads BENCH_*.json.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_NO_SPEEDUP_ASSERT=1 \
-		$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+		$(PYTHON) -m pytest benchmarks/ --ignore=benchmarks/bench_soak.py \
+		--benchmark-disable -q
 
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/bench_sweep_scaling.py --benchmark-only -s
@@ -77,6 +78,21 @@ bench-big-committees:
 # loop.  Appends to BENCH_throughput.json.
 bench-pipelining:
 	$(PYTHON) -m pytest benchmarks/bench_pipelining.py --benchmark-only -s
+
+# Bounded-memory soak (E20): one million Poisson submissions per
+# protocol through a single retention-enabled Deployment over a
+# two-region RegionalDelay matrix, gated on a tracemalloc heap peak
+# that must stay sub-linear in the event count.  Appends to
+# BENCH_throughput.json.
+bench-soak:
+	$(PYTHON) -m pytest benchmarks/bench_soak.py --benchmark-only -s
+
+# The soak gates at a tenth the scale (10^5 tx per protocol), untimed;
+# run by the informational CI bench job.  Excluded from the
+# bench-smoke glob above so CI never pays for it twice.
+soak-smoke:
+	REPRO_BENCH_SMOKE=1 \
+		$(PYTHON) -m pytest benchmarks/bench_soak.py --benchmark-disable -q -s
 
 # One depth-2 pipelined run per protocol through the real CLI with the
 # trace oracle checking every invariant (exit 1 on violation).  The

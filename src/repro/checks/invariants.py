@@ -125,10 +125,24 @@ class InvariantChecker:
     expectation (``"safety"``/``"liveness"``) that must hold for the
     checker to apply; the oracle skips inapplicable checkers rather
     than reporting vacuous violations.
+
+    Retention awareness: a checker that replays trace events declares
+    the kinds it reads in ``trace_kinds``; one that audits the full
+    run history (every submission, every committed body) sets
+    ``needs_full_history``.  When a retention-bounded run evicted what
+    a checker declared, the oracle *refuses* — records a skip with the
+    reason — instead of letting the checker pass vacuously on the
+    surviving window.
     """
 
     name: str = "invariant"
     condition: Optional[str] = None
+    #: trace-event kinds this checker replays; if retention dropped any
+    #: events of these kinds, the checker cannot audit the run.
+    trace_kinds: Tuple[str, ...] = ()
+    #: set when the checker needs the complete submission/commit/body
+    #: history, not just the retained window.
+    needs_full_history: bool = False
 
     def check(self, ctx: OracleContext) -> List[Violation]:  # pragma: no cover - interface
         raise NotImplementedError
@@ -279,6 +293,10 @@ class ValidityChecker(InvariantChecker):
     ever confirm is the agreement checker's business."""
 
     name = "validity"
+    # Compares every confirmed body against the complete submission
+    # set: a trimmed submission list or pruned block bodies would make
+    # the comparison vacuous (or worse, falsely violated).
+    needs_full_history = True
 
     def check(self, ctx: OracleContext) -> List[Violation]:
         submitted = set(ctx.result.submitted_tx_ids)
@@ -408,6 +426,10 @@ class CrashRecoveryChecker(InvariantChecker):
     invents or loses — finalised state)."""
 
     name = "crash-recovery"
+    # Replays the full crash/recover alternation; a ring-evicted crash
+    # event would make a recover look spontaneous (false violation) or
+    # hide a real double-crash (false pass).
+    trace_kinds = ("crash", "recover")
 
     def check(self, ctx: OracleContext) -> List[Violation]:
         violations: List[Violation] = []

@@ -286,6 +286,32 @@ def run_oracle(
                 note=f"outside the {checker.condition} envelope",
             ))
             continue
+        # Retention refusal: a checker whose evidence was evicted by a
+        # retention window must not pass vacuously on the surviving
+        # suffix — record the refusal instead.
+        evicted = tuple(
+            kind for kind in checker.trace_kinds if result.trace.truncated(kind)
+        )
+        if evicted:
+            verdicts.append(CheckVerdict(
+                name=checker.name,
+                status="skipped",
+                note=(
+                    f"trace retention evicted {'/'.join(evicted)} events: "
+                    "the full history cannot be audited"
+                ),
+            ))
+            continue
+        if checker.needs_full_history and result.history_truncated:
+            verdicts.append(CheckVerdict(
+                name=checker.name,
+                status="skipped",
+                note=(
+                    "retention evicted submission/commit history: "
+                    "a full-history audit is impossible"
+                ),
+            ))
+            continue
         violations = tuple(checker.check(ctx))
         verdicts.append(CheckVerdict(
             name=checker.name,

@@ -163,6 +163,50 @@ def _add_run_arguments(
              "window into one submission event (scenario default: 0, "
              "submit each arrival immediately)",
     )
+    # Geo-distribution flags: passing --regions alone switches the
+    # resolved scenario to the regional delay model.
+    parser.add_argument(
+        "--regions", type=int, default=None,
+        help="spread the committee round-robin over this many regions "
+             "with a seeded inter-region latency matrix (selects the "
+             "regional delay model)",
+    )
+    parser.add_argument(
+        "--region-spread", type=float, default=None,
+        help="worst inter-region base delay as a multiple of Δ "
+             "(scenario default: 4)",
+    )
+    parser.add_argument(
+        "--region-jitter", type=float, default=None,
+        help="per-message jitter bound relative to the pair's base "
+             "delay (scenario default: 0.25)",
+    )
+    # Retention flags (soak runs): each bounds one O(history) structure;
+    # unset means unbounded, the byte-identical legacy behaviour.
+    parser.add_argument(
+        "--trace-window", type=int, default=None,
+        help="keep only the last N trace events per kind "
+             "(lifetime counters stay exact)",
+    )
+    parser.add_argument(
+        "--commit-window", type=int, default=None,
+        help="bound the commit log's first-commit maps and the mempool "
+             "seen-id history to N transactions",
+    )
+    parser.add_argument(
+        "--submission-window", type=int, default=None,
+        help="keep only the last N workload submission records",
+    )
+    parser.add_argument(
+        "--ledger-window", type=int, default=None,
+        help="strip transaction bodies from final blocks more than N "
+             "below the commit head (digests and heights survive)",
+    )
+    parser.add_argument(
+        "--backlog-resolution", type=int, default=None,
+        help="downsample the throughput backlog series to about N "
+             "points (peak and final stay exact)",
+    )
     parser.add_argument(
         "--aggregate-certs", action="store_true",
         help="carry quorum certificates as aggregate signatures (one "
@@ -349,6 +393,25 @@ def _workload_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         overrides["max_block_txs"] = args.block_txs
     if getattr(args, "coalesce_window", None) is not None:
         overrides["coalesce_window"] = args.coalesce_window
+    # Geo-distribution: --regions implies the regional delay model.
+    if getattr(args, "regions", None) is not None:
+        overrides["regions"] = args.regions
+        overrides["delay"] = "regional"
+    for flag in ("region_spread", "region_jitter"):
+        if getattr(args, flag, None) is not None:
+            if getattr(args, "regions", None) is None:
+                raise SystemExit(f"--{flag.replace('_', '-')} needs --regions")
+            overrides[flag] = getattr(args, flag)
+    # Retention axes: same None-means-unset convention.
+    for flag in (
+        "trace_window",
+        "commit_window",
+        "submission_window",
+        "ledger_window",
+        "backlog_resolution",
+    ):
+        if getattr(args, flag, None) is not None:
+            overrides[flag] = getattr(args, flag)
     return overrides
 
 

@@ -226,3 +226,21 @@ class FraudDetector:
         return frozenset(
             proof for proof in self._proofs.values() if proof.round_number == round_number
         )
+
+    def prune_below(self, round_number: int) -> None:
+        """Drop per-round working state for rounds below ``round_number``.
+
+        Retention hook for bounded-memory soak runs: the dedup slots in
+        ``_seen`` and the aggregate-absorption memo only matter while a
+        round's statements can still arrive, so a deployment that prunes
+        finalized round state may bound them to the same window.
+        Constructed proofs are *evidence* — they are never pruned, and
+        ``guilty``/``proofs_for_round`` stay complete for the lifetime
+        of the run.  A statement for a pruned round re-absorbed later
+        can no longer pair with its discarded sibling; callers accept
+        that the detection window equals the retention window.
+        """
+        for slot in [s for s in self._seen if s[0] < round_number]:
+            del self._seen[slot]
+        for key in [k for k in self._absorbed_aggregates if k[0] < round_number]:
+            del self._absorbed_aggregates[key]

@@ -45,6 +45,7 @@ from repro.net.delays import (
     DelayModel,
     FixedDelay,
     PartialSynchronyDelay,
+    RegionalDelay,
     SynchronousDelay,
 )
 from repro.net.partition import Partition, PartitionSchedule
@@ -58,6 +59,7 @@ from repro.protocols.runner import (
     FaultSpec,
     NetworkSpec,
     ProductionSpec,
+    RetentionSpec,
     RunResult,
     RunSpec,
     WorkloadSpec,
@@ -76,7 +78,7 @@ PROTOCOL_FACTORIES = {
 
 ATTACKS = ("fork", "liveness", "censorship")
 
-DELAY_MODELS = ("fixed", "synchronous", "asynchronous", "partial")
+DELAY_MODELS = ("fixed", "synchronous", "asynchronous", "partial", "regional")
 
 
 @dataclass(frozen=True)
@@ -94,9 +96,15 @@ class Scenario:
 
     Synchrony: ``delay`` picks the model — ``fixed``/``synchronous``
     are bounded by ``delta``; ``asynchronous`` is heavy-tailed;
-    ``partial`` is asynchronous before ``gst`` and Δ-bounded after.
-    Stochastic models draw from the per-run seed, so one scenario and
-    one seed always replay the identical execution.
+    ``partial`` is asynchronous before ``gst`` and Δ-bounded after;
+    ``regional`` groups replicas round-robin into ``regions`` regions
+    with a seeded per-region-pair base-latency matrix (intra-region =
+    ``delta``, inter-region up to ``region_spread`` × ``delta``) plus
+    per-message jitter of up to ``region_jitter`` relative — the
+    geo-distributed shape the deployed-BFT evaluations use.  Setting
+    ``regions`` implies ``delay="regional"`` on the CLI; here the two
+    must agree.  Stochastic models draw from the per-run seed, so one
+    scenario and one seed always replay the identical execution.
 
     Partitions: ``partition_windows`` lists ``(start, end)`` windows
     during which ``partition_groups`` cannot exchange messages.  Empty
@@ -158,6 +166,21 @@ class Scenario:
     :class:`~repro.protocols.spec.ProductionSpec` and sweep like any
     other field.
 
+    Retention: the five ``*_window`` / ``backlog_resolution`` axes
+    compile into the run's frozen
+    :class:`~repro.protocols.spec.RetentionSpec` and bound the
+    simulator's O(history) structures for soak runs — ``trace_window``
+    keeps the last N trace events per kind, ``commit_window`` bounds
+    the commit log's dedup maps and the mempool's seen-id history,
+    ``submission_window`` bounds the workload's retained submission
+    records, ``ledger_window`` strips transaction bodies from final
+    blocks deeper than N below the head, and ``backlog_resolution``
+    downsamples the throughput report's backlog series.  All default to
+    None (unbounded), which replays byte-identically to the
+    pre-retention simulator; lifetime counters stay exact either way,
+    and oracle checkers that need the evicted history refuse (skip)
+    rather than pass vacuously.
+
     Oracle: ``check_invariants`` runs the trace oracle
     (:mod:`repro.checks`) post-hoc over every execution of this
     scenario — ``Scenario.run`` attaches the report to the result, and
@@ -184,6 +207,9 @@ class Scenario:
     delay: str = "fixed"
     delta: float = 1.0
     gst: float = 0.0
+    regions: Optional[int] = None
+    region_spread: float = 4.0
+    region_jitter: float = 0.25
     timeout: float = 15.0
     quorum: Optional[int] = None
     t0: Optional[int] = None
@@ -211,6 +237,11 @@ class Scenario:
     pipeline_depth: int = 1
     max_block_txs: Optional[int] = None
     coalesce_window: float = 0.0
+    trace_window: Optional[int] = None
+    commit_window: Optional[int] = None
+    submission_window: Optional[int] = None
+    ledger_window: Optional[int] = None
+    backlog_resolution: Optional[int] = None
     check_invariants: bool = False
     allow_unsound_crypto: bool = False
 
@@ -247,6 +278,17 @@ class Scenario:
             )
         if self.delay not in DELAY_MODELS:
             raise ValueError(f"unknown delay model {self.delay!r}; choose from {DELAY_MODELS}")
+        if self.delay == "regional":
+            if self.regions is None:
+                raise ValueError("the regional delay model needs regions set")
+            if not 1 <= self.regions <= self.n:
+                raise ValueError("regions must lie in [1, n]")
+            if self.region_spread < 1:
+                raise ValueError("region_spread must be >= 1")
+            if self.region_jitter < 0:
+                raise ValueError("region_jitter must be non-negative")
+        elif self.regions is not None:
+            raise ValueError("regions only applies to the regional delay model")
         if self.tolerance not in ("prft", "bft"):
             raise ValueError("tolerance must be 'prft' or 'bft'")
         if self.attack == "censorship" and not self.censored_tx_ids:
@@ -301,6 +343,9 @@ class Scenario:
         # frozen ProductionSpec raises with its own message on a bad
         # depth / cap / window.
         self.build_production_spec()
+        # ...and for the retention axes (window/resolution rules live
+        # on the frozen RetentionSpec).
+        self.build_retention_spec()
         if not 0 <= self.loss_rate < 1:
             raise ValueError("loss_rate must lie in [0, 1)")
         if not 0 <= self.duplicate_rate <= 1:
@@ -403,6 +448,15 @@ class Scenario:
             return SynchronousDelay(delta=self.delta, seed=seed)
         if self.delay == "asynchronous":
             return AsynchronousDelay(base_delay=self.delta, seed=seed)
+        if self.delay == "regional":
+            assert self.regions is not None  # enforced in __post_init__
+            return RegionalDelay(
+                assignment=[i % self.regions for i in range(self.n)],
+                delta=self.delta,
+                spread=self.region_spread,
+                jitter=self.region_jitter,
+                seed=seed,
+            )
         return PartialSynchronyDelay(gst=self.gst, delta=self.delta, seed=seed)
 
     def build_partitions(self, players: Sequence[Player]) -> Optional[PartitionSchedule]:
@@ -429,6 +483,16 @@ class Scenario:
             pipeline_depth=self.pipeline_depth,
             max_block_txs=self.max_block_txs,
             coalesce_window=self.coalesce_window,
+        )
+
+    def build_retention_spec(self) -> RetentionSpec:
+        """The declarative memory-retention half of the run spec."""
+        return RetentionSpec(
+            trace_window=self.trace_window,
+            commit_window=self.commit_window,
+            submission_window=self.submission_window,
+            ledger_window=self.ledger_window,
+            backlog_resolution=self.backlog_resolution,
         )
 
     def build_workload_spec(self) -> WorkloadSpec:
@@ -485,6 +549,7 @@ class Scenario:
             faults=FaultSpec(crash_schedule=self.build_crash_schedule()),
             workload=self.build_workload_spec(),
             production=self.build_production_spec(),
+            retention=self.build_retention_spec(),
             seed=f"{self.name}/{seed}",
             max_time=self.effective_max_time(),
             max_events=self.max_events,
@@ -724,6 +789,18 @@ def protocol_matrix() -> Scenario:
     """Honest baseline meant for cross-protocol grids, e.g.
     --grid protocol=prft,pbft,hotstuff,polygraph,trap n=4,8,16."""
     return Scenario(name="protocol-matrix", n=5, rounds=2, tolerance="bft")
+
+
+@register_scenario
+def regional_honest() -> Scenario:
+    """Honest committee spread over three regions with a seeded
+    inter-region latency matrix (the geo-distributed deployment shape);
+    the timeout clears the worst regional round trip."""
+    return Scenario(
+        name="regional-honest", n=9, rounds=3, delay="regional",
+        regions=3, region_spread=4.0, region_jitter=0.25,
+        timeout=30.0, max_time=600.0,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -95,7 +95,14 @@ class RunRecord:
             invariant_violations = tuple(sorted(report.violated_names))
         throughput: Optional[Tuple[Tuple[str, float], ...]] = None
         if result.throughput is not None:
-            throughput = tuple(sorted(result.throughput.summary().items()))
+            entries: Dict[str, Any] = dict(result.throughput.summary())
+            # The backlog series rides along capped (strided, crest and
+            # last point kept) so record size is independent of run
+            # duration; peak/final stay exact in the scalars above.
+            series = result.throughput.record_series()
+            if series:
+                entries["backlog_series"] = series
+            throughput = tuple(sorted(entries.items()))
         utilities = tuple(
             (player.player_id,
              result.realised_utility(player.player_id, player.theta, censored_tx_ids=censored))
@@ -171,7 +178,14 @@ class RunRecord:
             kwargs["invariants"] = None
         kwargs["invariant_violations"] = tuple(data.get("invariant_violations", ()))
         if "throughput" in data and data["throughput"] is not None:
-            kwargs["throughput"] = tuple(sorted(dict(data["throughput"]).items()))
+            entries = []
+            for name, value in dict(data["throughput"]).items():
+                if isinstance(value, (list, tuple)):
+                    # The capped backlog series: JSON hands lists back,
+                    # the record carries tuples.
+                    value = tuple(tuple(point) for point in value)
+                entries.append((name, value))
+            kwargs["throughput"] = tuple(sorted(entries))
         else:
             kwargs["throughput"] = None
         kwargs.setdefault("wall_time", 0.0)
@@ -258,8 +272,14 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
                 )
                 row.append(" ".join(record.invariant_violations))
             if with_throughput:
+                # Scalars only: the (already capped) backlog series is a
+                # JSON affordance; the flat CSV column stays scalar.
                 row.append(
-                    ";".join(f"{name}={value}" for name, value in record.throughput or ())
+                    ";".join(
+                        f"{name}={value}"
+                        for name, value in record.throughput or ()
+                        if name != "backlog_series"
+                    )
                 )
             if include_timing:
                 row.append(record.wall_time)

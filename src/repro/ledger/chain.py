@@ -38,6 +38,8 @@ class Chain:
             _Entry(block=genesis_block(), status=ConfirmationStatus.FINAL)
         ]
         self._height_by_digest: Dict[str, int] = {self._entries[0].block.digest: 0}
+        self._pruned_below = 0
+        self._bodies_pruned = False
 
     # ------------------------------------------------------------------
     # Growing and finalising
@@ -69,6 +71,46 @@ class Chain:
             raise KeyError(f"no block {digest[:8]} on this chain")
         for entry in self._entries[: height + 1]:
             entry.status = ConfirmationStatus.FINAL
+
+    def prune_final_bodies(self, keep_last: int) -> int:
+        """Drop transaction bodies from final blocks deeper than the
+        newest ``keep_last`` final ones (the retention soak path).
+
+        Each pruned entry is replaced by a header-only copy carrying
+        the original's cached digest: chain length, digest lookups,
+        parent links and agreement comparisons are unaffected.  Only
+        :meth:`contains_transaction` and body iteration lose the deep
+        history — callers check :attr:`bodies_pruned` before treating
+        block contents as complete.  Returns how many blocks were
+        pruned by this call.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be positive")
+        cutoff = self.final_height() - keep_last
+        pruned = 0
+        for height in range(max(1, self._pruned_below), cutoff + 1):
+            entry = self._entries[height]
+            if entry.status is not ConfirmationStatus.FINAL:
+                break
+            block = entry.block
+            if block.transactions:
+                stripped = Block(
+                    round_number=block.round_number,
+                    proposer=block.proposer,
+                    parent_digest=block.parent_digest,
+                    transactions=(),
+                )
+                object.__setattr__(stripped, "_digest", block.digest)
+                entry.block = stripped
+                pruned += 1
+                self._bodies_pruned = True
+            self._pruned_below = height + 1
+        return pruned
+
+    @property
+    def bodies_pruned(self) -> bool:
+        """True once any final block's transaction body was dropped."""
+        return self._bodies_pruned
 
     def rollback_tentative(self) -> List[Block]:
         """Drop every tentative suffix block; return the dropped blocks."""

@@ -9,26 +9,47 @@ re-propose confirmed transactions.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional
 
 from repro.ledger.transaction import Transaction
 
 
 class Mempool:
-    """Ordered pool of pending transactions."""
+    """Ordered pool of pending transactions.
+
+    ``history_limit`` (the retention soak path; ``None`` = unbounded
+    legacy) caps the known/included dedup histories at the newest
+    ``history_limit`` ids each — a soak run would otherwise accumulate
+    one set entry per transaction ever seen.  Eviction is oldest-first;
+    a duplicate arriving more than ``history_limit`` submissions after
+    its original can be re-admitted, so the limit should comfortably
+    exceed any link-layer duplication spread.
+    """
 
     def __init__(self) -> None:
         self._pending: List[Transaction] = []
-        self._known_ids: Set[str] = set()
-        self._included_ids: Set[str] = set()
+        # Insertion-ordered so bounded eviction drops the oldest ids.
+        self._known_ids: Dict[str, None] = {}
+        self._included_ids: Dict[str, None] = {}
+        self.history_limit: Optional[int] = None
+
+    def _trim_history(self) -> None:
+        limit = self.history_limit
+        if limit is None:
+            return
+        while len(self._known_ids) > limit:
+            del self._known_ids[next(iter(self._known_ids))]
+        while len(self._included_ids) > limit:
+            del self._included_ids[next(iter(self._included_ids))]
 
     def submit(self, transaction: Transaction) -> bool:
         """Add a transaction; duplicates (by id) are ignored."""
         if transaction.tx_id in self._known_ids:
             return False
-        self._known_ids.add(transaction.tx_id)
+        self._known_ids[transaction.tx_id] = None
         if transaction.tx_id not in self._included_ids:
             self._pending.append(transaction)
+        self._trim_history()
         return True
 
     def submit_all(self, transactions: Iterable[Transaction]) -> int:
@@ -37,9 +58,12 @@ class Mempool:
 
     def mark_included(self, tx_ids: Iterable[str]) -> None:
         """Record that these transactions reached the ledger."""
-        ids = set(tx_ids)
-        self._included_ids |= ids
+        ordered = list(tx_ids)
+        for tx_id in ordered:
+            self._included_ids[tx_id] = None
+        ids = set(ordered)
         self._pending = [tx for tx in self._pending if tx.tx_id not in ids]
+        self._trim_history()
 
     def select(
         self,

@@ -46,8 +46,10 @@ class Network:
         self._pipeline = pipeline or LinkPipeline.build(
             delay_model=delay_model, partitions=partitions
         )
-        self.metrics = metrics or MetricsCollector()
-        self.trace = trace or TraceRecorder()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        # `is not None`, not `or`: an empty recorder is falsy (len 0)
+        # but may carry a retention window that must survive.
+        self.trace = trace if trace is not None else TraceRecorder()
         self._handlers: Dict[int, Handler] = {}
         # Sorted-id cache, rebuilt on (rare) registration so the (hot)
         # broadcast path never re-sorts.

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.player import Player
 from repro.agents.strategies import MessageFactory
@@ -137,6 +137,9 @@ class ProtocolContext:
     # per-block transaction cap and client-side coalescing.  ``None``
     # (hand-built contexts) behaves like the all-defaults spec.
     production: Optional[Any] = None
+    # Bounded-memory axis (RetentionSpec): trace/commit/ledger windows
+    # for soak-length runs.  ``None`` keeps every structure unbounded.
+    retention: Optional[Any] = None
 
     @property
     def trace(self):
@@ -155,12 +158,25 @@ class BaseReplica(ABC):
     strategy-mediated broadcast, chain/mempool state and trace helpers.
     """
 
+    #: Cap on the retransmission backoff exponent: repeat timeouts on an
+    #: unreliable network wait timeout · 2^min(k−1, cap) before the next
+    #: resend, so duplicate storms stop amplifying but a long-crashed
+    #: peer still gets periodic service.
+    BACKOFF_MAX_DOUBLINGS = 5
+
     def __init__(self, player: Player, config: ProtocolConfig, ctx: ProtocolContext) -> None:
         self.player = player
         self.config = config
         self.ctx = ctx
         self.chain = Chain()
         self.mempool = Mempool()
+        retention = ctx.retention
+        if retention is not None and retention.commit_window is not None:
+            self.mempool.history_limit = retention.commit_window
+        #: (requester, round) -> virtual time of the last catch-up offer,
+        #: so duplicated or storm-replayed requests inside half a timeout
+        #: are answered once instead of once per copy.
+        self._catch_up_offers: Dict[Tuple[int, int], float] = {}
         self.keypair: KeyPair = ctx.registry.keypair_of(player.player_id)
         self.halted = False
         self.status = ReplicaStatus.UP
@@ -501,6 +517,28 @@ class BaseReplica(ABC):
     def cancel_timer(self, name: str) -> None:
         self.ctx.timers.cancel(self.player_id, name)
 
+    def retry_delay(self, prior_timeouts: int) -> float:
+        """Exponential retransmission backoff with a cap.
+
+        The first timeout of a round always fires after the configured
+        ``timeout`` (so round pacing on a reliable network is untouched
+        and golden records stay byte-identical); each further re-arm on
+        an *unreliable* network doubles the wait, capped at
+        ``2^BACKOFF_MAX_DOUBLINGS``.  Deterministic — no randomisation
+        — so identical seeds yield identical retransmission schedules.
+        """
+        if prior_timeouts <= 1 or not self.ctx.network.unreliable:
+            return self.config.timeout
+        doublings = min(prior_timeouts - 1, self.BACKOFF_MAX_DOUBLINGS)
+        return self.config.timeout * (2 ** doublings)
+
+    def _round_timer_delay(self, round_number: int) -> float:
+        """The delay for (re)arming ``round_number``'s timer, backed off
+        by how many times the round has already timed out."""
+        rounds = getattr(self, "_rounds", None)
+        state = rounds.get(round_number) if rounds is not None else None
+        return self.retry_delay(getattr(state, "timeouts", 0))
+
     # ------------------------------------------------------------------
     # Trace helper
     # ------------------------------------------------------------------
@@ -519,8 +557,26 @@ class BaseReplica(ABC):
         drains the whole decided backlog.  The current round is
         included: a halted server's last round is its current one, and
         serving an undecided round is a no-op.
+
+        Per-(requester, round) suppression: duplicated request copies
+        (link-layer duplication, retransmission storms) arriving within
+        half a timeout of an already-served offer are ignored — the
+        requester's own timer cadence re-requests no faster than once
+        per timeout, so legitimate retries are always served.
         """
+        now = self.ctx.now
+        window = 0.5 * self.config.timeout
+        offers = self._catch_up_offers
+        if len(offers) > 8 * self.config.n:
+            stale = [key for key, when in offers.items() if now - when >= window]
+            for key in stale:
+                del offers[key]
         for number in range(round_number, self.current_round + 1):
+            key = (requester, number)
+            last = offers.get(key)
+            if last is not None and now - last < window:
+                continue
+            offers[key] = now
             self._offer_catch_up(requester, number)
 
     def note_block_finalized(self, block: Any) -> None:
@@ -530,8 +586,42 @@ class BaseReplica(ABC):
         first-observation times per transaction and digest (restricted
         to the honest roster) for throughput metrics and closed-loop
         clients.  Recording schedules no events.
+
+        Under a retention ``ledger_window`` the replica also prunes
+        transaction bodies out of final blocks deeper than the window —
+        chain length, digests and parent links are untouched, so
+        agreement-style analysis still works on a pruned chain.
         """
         self.ctx.commit_log.note(self.player_id, self.ctx.now, block)
+        retention = self.ctx.retention
+        if retention is not None and retention.ledger_window is not None:
+            self.chain.prune_final_bodies(keep_last=retention.ledger_window)
+            self._prune_round_state(keep_last=retention.ledger_window)
+
+    def _prune_round_state(self, keep_last: int) -> None:
+        """Drop per-round protocol state far behind the current round.
+
+        Round states pin the heaviest per-round objects — the proposal
+        block with its full transaction body plus every retained signed
+        statement — so a soak run that never discards them grows
+        O(total rounds).  Only called under a retention ``ledger_window``;
+        the margin keeps every round the pipeline (or a straggler
+        message inside the delay bound) can still touch.  Post-hoc
+        quorum-certificate auditing only sees the surviving window on
+        such runs — the same contract as the pruned ledger itself.
+        """
+        rounds = getattr(self, "_rounds", None)
+        if not isinstance(rounds, dict):
+            return
+        margin = max(keep_last, self.ctx.production.pipeline_depth + 1)
+        cutoff = self.current_round - margin
+        if cutoff <= 0:
+            return
+        for number in [r for r in rounds if r < cutoff]:
+            del rounds[number]
+        detector = getattr(self, "detector", None)
+        if detector is not None:
+            detector.prune_below(cutoff)
 
     def halt(self) -> None:
         """Stop all activity (end of configured rounds)."""

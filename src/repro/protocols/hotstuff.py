@@ -221,8 +221,12 @@ class HotStuffReplica(BaseReplica):
             self.handle_payload(sender, payload)
 
     def _arm_round_timer(self, round_number: int) -> None:
+        # Re-arms after repeat timeouts back off exponentially (see
+        # BaseReplica.retry_delay); the first arm is the plain timeout.
         self.set_timer(
-            f"round-{round_number}", self.config.timeout, lambda: self._on_timeout(round_number)
+            f"round-{round_number}",
+            self._round_timer_delay(round_number),
+            lambda: self._on_timeout(round_number),
         )
 
     def _on_timeout(self, round_number: int) -> None:

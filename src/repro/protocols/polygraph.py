@@ -198,9 +198,11 @@ class PolygraphReplica(BaseReplica):
             self.handle_payload(sender, payload)
 
     def _arm_round_timer(self, round_number: int) -> None:
+        # Re-arms after repeat timeouts back off exponentially (see
+        # BaseReplica.retry_delay); the first arm is the plain timeout.
         self.set_timer(
             f"round-{round_number}",
-            self.config.timeout,
+            self._round_timer_delay(round_number),
             lambda: self._on_timeout(round_number),
         )
 

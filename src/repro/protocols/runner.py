@@ -42,11 +42,19 @@ from repro.protocols.spec import (
     NetworkSpec,
     ProductionSpec,
     ReplicaFactory,
+    RetentionSpec,
     RunSpec,
     WorkloadSpec,
 )
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import MetricsCollector, ThroughputReport, build_throughput_report
+from repro.sim.metrics import (
+    CommitLog,
+    MetricsCollector,
+    ThroughputReport,
+    build_throughput_report,
+    report_from_accumulator,
+)
+from repro.sim.streaming import ThroughputAccumulator
 from repro.sim.timers import TimerService
 from repro.sim.trace import TraceRecorder
 from repro.workloads import Workload, make_transactions
@@ -59,6 +67,7 @@ __all__ = [
     "FaultSpec",
     "WorkloadSpec",
     "ProductionSpec",
+    "RetentionSpec",
     "Deployment",
     "RunResult",
     "build_context",
@@ -81,6 +90,7 @@ def build_context(
     reorder_jitter: float = 0.0,
     aggregate_certs: bool = False,
     production: Optional[ProductionSpec] = None,
+    retention: Optional[RetentionSpec] = None,
 ) -> ProtocolContext:
     """Assemble engine, network, PKI and collateral for a deployment.
 
@@ -88,6 +98,10 @@ def build_context(
     (delay → partition → drop → duplication → reorder-jitter); each
     stochastic stage is seeded from ``seed``, so faults replay
     identically for the same (scenario, seed) pair.
+
+    ``retention`` (the bounded-memory soak path) sizes the trace
+    recorder's per-kind ring buffers and the commit log's dedup
+    window; ``None`` or the all-defaults spec keeps both unbounded.
     """
     engine = SimulationEngine()
     pipeline = LinkPipeline.build(
@@ -98,11 +112,12 @@ def build_context(
         reorder_jitter=reorder_jitter,
         seed=seed,
     )
+    retention = retention or RetentionSpec()
     network = Network(
         engine,
         pipeline=pipeline,
         metrics=MetricsCollector(),
-        trace=TraceRecorder(),
+        trace=TraceRecorder(window=retention.trace_window),
     )
     registry = KeyRegistry.trusted_setup(
         player_ids,
@@ -118,8 +133,10 @@ def build_context(
         timers=TimerService(engine),
         registry=registry,
         collateral=collateral,
+        commit_log=CommitLog(window=retention.commit_window),
         aggregate_certs=aggregate_certs,
         production=production or ProductionSpec(),
+        retention=retention if retention.active else None,
     )
 
 
@@ -202,6 +219,22 @@ class RunResult:
     def metrics(self):
         return self.ctx.network.metrics
 
+    @property
+    def history_truncated(self) -> bool:
+        """True when retention evicted history a full-run audit needs:
+        trimmed submission records, an evicted commit-log prefix, or
+        final-block bodies stripped from some replica's ledger.  Oracle
+        checkers that replay the full history refuse (skip) on such
+        runs rather than pass vacuously."""
+        workload = getattr(self.ctx, "workload", None)
+        if workload is not None and getattr(workload, "submissions_truncated", False):
+            return True
+        if self.ctx.commit_log.truncated:
+            return True
+        return any(
+            replica.chain.bodies_pruned for replica in self.replicas.values()
+        )
+
 
 class Deployment:
     """One assembled deployment: context, replicas, faults, workload.
@@ -229,6 +262,7 @@ class Deployment:
             duplicate_rate=spec.network.duplicate_rate,
             reorder_jitter=spec.network.reorder_jitter,
             production=spec.production,
+            retention=spec.retention,
         )
         # Client-visible commits are what honest replicas finalise; a
         # deviator's lone fork block never counts.
@@ -250,6 +284,22 @@ class Deployment:
         )
         self.ctx.workload = self.workload
         self.workload.install(self.ctx, self.replicas)
+        # Bounded-memory soak path: any retention window switches the
+        # throughput pipeline to the streaming accumulator — it observes
+        # every submission and first commit as they happen, keeping only
+        # the in-flight map and O(1) sketches instead of the full
+        # submission schedule joined against the commit log at the end.
+        self.accumulator: Optional[ThroughputAccumulator] = None
+        if spec.retention.active and (
+            config.duration is not None or spec.workload.continuous
+        ):
+            self.accumulator = ThroughputAccumulator(
+                resolution=spec.retention.backlog_resolution
+            )
+            self.workload.attach_accumulator(self.accumulator)
+            self.ctx.commit_log.subscribe(self.accumulator.note_commit)
+        if spec.retention.submission_window is not None:
+            self.workload.bound_submissions(spec.retention.submission_window)
         self._executed = False
 
     def execute(self) -> RunResult:
@@ -278,11 +328,18 @@ class Deployment:
         duration = self.spec.config.duration
         quiesced = self.ctx.engine.last_event_time
         horizon = quiesced if duration is None else min(duration, quiesced)
+        if self.accumulator is not None:
+            return report_from_accumulator(
+                self.accumulator,
+                blocks=result.final_block_count(),
+                horizon=max(horizon, 1e-9),
+            )
         return build_throughput_report(
             self.workload.submissions(),
             self.ctx.commit_log.commit_times(),
             blocks=result.final_block_count(),
             horizon=max(horizon, 1e-9),
+            resolution=self.spec.retention.backlog_resolution,
         )
 
 

@@ -250,10 +250,66 @@ class ProductionSpec:
         return _dc_replace(self, **changes)
 
 
+@dataclass(frozen=True)
+class RetentionSpec:
+    """Bounded-memory retention for soak-length runs.
+
+    Defaults (every window ``None``) are the unbounded legacy
+    behaviour: golden records stay byte-identical.  Each window bounds
+    one O(events) structure so a ≥10⁶-transaction run holds constant
+    state; the lifetime counters underneath them stay exact.
+
+    - ``trace_window`` — per-kind ring-buffer capacity on the
+      :class:`~repro.sim.trace.TraceRecorder`.  Oracle checks that
+      declare the truncated kinds refuse to certify instead of
+      silently passing.
+    - ``commit_window`` — newest first-commit records kept by the
+      :class:`~repro.sim.metrics.CommitLog` for dedup after listeners
+      fire, and the bound on each mempool's known/included-id history.
+      Must comfortably exceed the finalisation spread between the
+      fastest and slowest honest replica.
+    - ``submission_window`` — newest ``(tx_id, time)`` pairs the
+      workload keeps; older submissions are handed to the streaming
+      throughput accumulator and forgotten.
+    - ``ledger_window`` — final blocks whose transaction bodies each
+      chain retains; deeper final blocks keep header + digest only
+      (chain length, digests and parent links are unaffected).
+    - ``backlog_resolution`` — cap on retained backlog-series points
+      (windowed downsampling; peak stays exact).
+
+    Any window set also switches the deployment's throughput pipeline
+    to the streaming accumulator (O(backlog) instead of O(submitted)).
+    """
+
+    trace_window: Optional[int] = None
+    commit_window: Optional[int] = None
+    submission_window: Optional[int] = None
+    ledger_window: Optional[int] = None
+    backlog_resolution: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("trace_window", "commit_window", "submission_window",
+                     "ledger_window"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive when set")
+        if self.backlog_resolution is not None and self.backlog_resolution < 2:
+            raise ValueError("backlog_resolution must be at least 2 when set")
+
+    @property
+    def active(self) -> bool:
+        """True when any knob departs from the unbounded legacy defaults."""
+        return any(
+            getattr(self, name) is not None
+            for name in ("trace_window", "commit_window", "submission_window",
+                         "ledger_window", "backlog_resolution")
+        )
+
+
 # The ``replace`` idiom on every sub-spec: frozen dataclasses already
 # support ``dataclasses.replace``, but exposing it as a method keeps
 # call sites short and re-runs ``__post_init__`` validation.
-for _spec_cls in (NetworkSpec, CryptoSpec, FaultSpec, WorkloadSpec):
+for _spec_cls in (NetworkSpec, CryptoSpec, FaultSpec, WorkloadSpec, RetentionSpec):
     _spec_cls.replace = _dc_replace  # type: ignore[attr-defined]
 del _spec_cls
 
@@ -276,6 +332,7 @@ class RunSpec:
     faults: FaultSpec = field(default_factory=FaultSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     production: ProductionSpec = field(default_factory=ProductionSpec)
+    retention: RetentionSpec = field(default_factory=RetentionSpec)
     seed: str = "default"
     max_time: float = 10_000.0
     max_events: int = 2_000_000
@@ -313,7 +370,8 @@ class RunSpec:
 
         Validation re-runs on every derived spec.
         """
-        sub_specs = ("network", "crypto", "faults", "workload", "production")
+        sub_specs = ("network", "crypto", "faults", "workload", "production",
+                     "retention")
         changes = {}
         for name, value in overrides.items():
             if name in sub_specs and isinstance(value, dict):

@@ -19,9 +19,12 @@ client-side backlog (submitted but not yet committed) over time.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.streaming import BacklogSeries, LatencySketch, ThroughputAccumulator
 
 
 @dataclass
@@ -149,13 +152,29 @@ class CommitLog:
 
     Recording is append-only and schedules no events, so legacy
     static-batch runs are byte-identical with the log in place.
+
+    With ``window`` set (the soak/retention path) the log truncates its
+    consumed prefix: once listeners have been notified of a first
+    commit, only the newest ``window`` per-transaction (and per-block)
+    records are retained for dedup.  The lifetime totals stay exact.
+    The window trades memory for dedup depth — a replica finalising a
+    block more than ``window`` first-commits after everyone else can
+    re-announce transactions, so windows should comfortably exceed the
+    straggler spread (retention-off runs keep the unbounded legacy
+    maps and are unaffected).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be positive")
+        self._window = window
         self._observed: Optional[FrozenSet[int]] = None
         self._tx_first: Dict[str, float] = {}
         self._block_first: Dict[str, float] = {}
         self._listeners: List[Callable[[str, float], None]] = []
+        self._tx_total = 0
+        self._block_total = 0
+        self._evicted = 0
 
     def restrict_to(self, player_ids: Iterable[int]) -> None:
         """Only count finalisations reported by these players."""
@@ -171,27 +190,54 @@ class CommitLog:
             return
         if block.digest not in self._block_first:
             self._block_first[block.digest] = now
+            self._block_total += 1
         for tx in block.transactions:
             if tx.tx_id in self._tx_first:
                 continue
             self._tx_first[tx.tx_id] = now
+            self._tx_total += 1
             for listener in self._listeners:
                 listener(tx.tx_id, now)
+        if self._window is not None:
+            self._truncate()
+
+    def _truncate(self) -> None:
+        """Drop the oldest consumed first-commit records beyond the
+        retention window.  Listeners have already been notified of
+        everything evicted — truncation only shrinks the dedup maps."""
+        window = self._window
+        assert window is not None
+        while len(self._tx_first) > window:
+            del self._tx_first[next(iter(self._tx_first))]
+            self._evicted += 1
+        while len(self._block_first) > window:
+            del self._block_first[next(iter(self._block_first))]
 
     def first_commit(self, tx_id: str) -> Optional[float]:
         return self._tx_first.get(tx_id)
 
     def commit_times(self) -> Dict[str, float]:
-        """{tx_id: first finalisation time} over observed players."""
+        """{tx_id: first finalisation time} over observed players.
+
+        Under a retention window this is only the retained suffix —
+        check :attr:`truncated` before treating it as complete.
+        """
         return dict(self._tx_first)
 
     @property
     def committed_transactions(self) -> int:
-        return len(self._tx_first)
+        """Lifetime first-commit count (exact even under retention)."""
+        return self._tx_total
 
     @property
     def committed_blocks(self) -> int:
-        return len(self._block_first)
+        """Lifetime first-finalisation count (exact even under retention)."""
+        return self._block_total
+
+    @property
+    def truncated(self) -> bool:
+        """True once the retention window has evicted any record."""
+        return self._evicted > 0
 
 
 def _percentile(ordered: Sequence[float], q: float) -> float:
@@ -231,6 +277,10 @@ class ThroughputReport:
     final_backlog: int
     backlog_series: Tuple[Tuple[float, int], ...] = ()
 
+    #: backlog points kept when a report is flattened into a RunRecord:
+    #: enough to plot the shape, independent of run duration.
+    RECORD_SERIES_POINTS = 64
+
     def summary(self) -> Dict[str, float]:
         """The flat scalar projection (everything but the series)."""
         return {
@@ -247,29 +297,62 @@ class ThroughputReport:
             "final_backlog": self.final_backlog,
         }
 
+    def record_series(
+        self, cap: int = RECORD_SERIES_POINTS
+    ) -> Tuple[Tuple[float, int], ...]:
+        """The backlog series capped at ``cap`` points for persistence.
+
+        Strided downsampling that always keeps the last point and the
+        crest (the highest retained backlog sample); ``peak_backlog``
+        and ``final_backlog`` remain exact as scalars regardless.
+        """
+        if cap < 2:
+            raise ValueError("cap must be at least 2")
+        points = self.backlog_series
+        if len(points) <= cap:
+            return tuple(points)
+        stride = -(-len(points) // cap)  # ceil division
+        kept = list(points[::stride])
+        if kept[-1] != points[-1]:
+            kept.append(points[-1])
+        crest = max(points, key=lambda point: point[1])
+        if crest not in kept:
+            bisect.insort(kept, crest)
+        return tuple(kept)
+
 
 def build_throughput_report(
     submissions: Sequence[Tuple[str, float]],
     commit_times: Mapping[str, float],
     blocks: int,
     horizon: float,
+    resolution: Optional[int] = None,
+    exact_limit: int = LatencySketch.DEFAULT_EXACT_LIMIT,
 ) -> ThroughputReport:
     """Fold a workload's submission schedule and the commit log into a
     :class:`ThroughputReport`.
+
+    Latencies feed a :class:`~repro.sim.streaming.LatencySketch`: runs
+    that commit fewer than ``exact_limit`` transactions report the same
+    percentiles as the historical sorted-list path; longer runs spill
+    into the O(1)-memory P² estimators.  Count, mean and max stay
+    exact either way.
 
     Args:
         submissions: ordered ``(tx_id, submit_time)`` pairs.
         commit_times: ``{tx_id: first commit time}`` (the commit log).
         blocks: finalized blocks on the longest honest chain.
         horizon: the virtual-time span to normalise rates over.
+        resolution: cap on retained ``backlog_series`` points (windowed
+            downsampling; None keeps every point, the legacy default).
+        exact_limit: sample count below which percentiles are exact.
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
-    latencies = sorted(
-        commit_times[tx_id] - submitted_at
-        for tx_id, submitted_at in submissions
-        if tx_id in commit_times
-    )
+    sketch = LatencySketch(exact_limit=exact_limit)
+    for tx_id, submitted_at in submissions:
+        if tx_id in commit_times:
+            sketch.add(commit_times[tx_id] - submitted_at)
     # Backlog walk: +1 at each submission, -1 at each commit of a
     # submitted tx.  Ties resolve commits first: a transaction needs at
     # least one network delay to commit, so a commit and a submission
@@ -281,28 +364,51 @@ def build_throughput_report(
         if tx_id in commit_times:
             edges.append((commit_times[tx_id], 0, -1))
     edges.sort()
-    series: List[Tuple[float, int]] = []
-    backlog = peak = 0
+    series = BacklogSeries(resolution=resolution)
+    backlog = 0
     for when, _, delta in edges:
         backlog += delta
-        if series and series[-1][0] == when:
-            series[-1] = (when, backlog)
-        else:
-            series.append((when, backlog))
-        peak = max(peak, backlog)
+        series.append(when, backlog)
     return ThroughputReport(
         horizon=horizon,
         blocks=blocks,
         submitted=len(submissions),
-        committed=len(latencies),
+        committed=sketch.count,
         blocks_per_sec=blocks / horizon,
-        latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
-        latency_p50=_percentile(latencies, 50) if latencies else 0.0,
-        latency_p99=_percentile(latencies, 99) if latencies else 0.0,
-        latency_max=latencies[-1] if latencies else 0.0,
-        peak_backlog=peak,
-        final_backlog=backlog,
-        backlog_series=tuple(series),
+        latency_mean=sketch.mean,
+        latency_p50=sketch.percentile(50) if sketch.count else 0.0,
+        latency_p99=sketch.percentile(99) if sketch.count else 0.0,
+        latency_max=sketch.max,
+        peak_backlog=series.peak,
+        final_backlog=series.final,
+        backlog_series=series.points(),
+    )
+
+
+def report_from_accumulator(
+    accumulator: ThroughputAccumulator,
+    blocks: int,
+    horizon: float,
+) -> ThroughputReport:
+    """Project a streaming :class:`~repro.sim.streaming.ThroughputAccumulator`
+    (the bounded-memory soak path) into the same :class:`ThroughputReport`
+    shape the batch builder produces."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    sketch = accumulator.latency
+    return ThroughputReport(
+        horizon=horizon,
+        blocks=blocks,
+        submitted=accumulator.submitted,
+        committed=accumulator.committed,
+        blocks_per_sec=blocks / horizon,
+        latency_mean=sketch.mean,
+        latency_p50=sketch.percentile(50) if sketch.count else 0.0,
+        latency_p99=sketch.percentile(99) if sketch.count else 0.0,
+        latency_max=sketch.max,
+        peak_backlog=accumulator.series.peak,
+        final_backlog=accumulator.backlog,
+        backlog_series=accumulator.series.points(),
     )
 
 

@@ -6,12 +6,22 @@ appended to a :class:`TraceRecorder`.  Traces are the interface between
 protocol execution and analysis: the robustness checker (Definition 1),
 the accountability checker (Definition 6) and the game-theoretic state
 classifier (Table 2) all operate on traces, never on replica internals.
+
+The recorder has two storage modes.  The default keeps every event (the
+legacy behaviour every oracle check was written against).  Soak runs
+pass ``window`` — a per-kind ring-buffer capacity — so a ≥10⁶-event run
+holds only the newest ``window`` events of each kind.  Lifetime
+bookkeeping (``count``, ``len``, ``last``) stays exact in both modes,
+and :meth:`truncated` tells analysis code whether the events it is
+about to iterate are the complete history or just the retained suffix.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from heapq import merge
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -31,37 +41,91 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only log of :class:`TraceEvent` objects."""
+    """Append-only log of :class:`TraceEvent` objects.
 
-    def __init__(self) -> None:
+    ``window=None`` (default) retains everything.  With ``window=k``
+    each event kind keeps its newest ``k`` events in a ring buffer;
+    older events are dropped and counted in :meth:`dropped`.
+    """
+
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError("window must be positive")
+        self._window = window
         self._events: List[TraceEvent] = []
+        self._rings: Dict[str, Deque[Tuple[int, TraceEvent]]] = {}
+        self._counts: Dict[str, int] = {}
+        self._last: Dict[str, TraceEvent] = {}
+        self._dropped: Dict[str, int] = {}
+        self._total = 0
+        self._seq = 0
+
+    @property
+    def window(self) -> Optional[int]:
+        return self._window
 
     def record(self, time: float, kind: str, player: Optional[int] = None, **detail: Any) -> None:
         """Append one event."""
-        self._events.append(TraceEvent(time=time, kind=kind, player=player, detail=detail))
+        event = TraceEvent(time=time, kind=kind, player=player, detail=detail)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self._last[kind] = event
+        self._total += 1
+        if self._window is None:
+            self._events.append(event)
+            return
+        ring = self._rings.get(kind)
+        if ring is None:
+            ring = self._rings[kind] = deque(maxlen=self._window)
+        if len(ring) == self._window:
+            self._dropped[kind] = self._dropped.get(kind, 0) + 1
+        ring.append((self._seq, event))
+        self._seq += 1
+
+    def _retained(self) -> List[TraceEvent]:
+        """Every retained event in record order (both modes)."""
+        if self._window is None:
+            return self._events
+        return [event for _, event in merge(*self._rings.values())]
 
     def events(self, kind: Optional[str] = None, player: Optional[int] = None) -> List[TraceEvent]:
-        """Return events, optionally filtered by kind and/or player."""
-        selected: Iterator[TraceEvent] = iter(self._events)
-        if kind is not None:
-            selected = (event for event in selected if event.kind == kind)
+        """Return retained events, optionally filtered by kind and/or player."""
+        if kind is not None and self._window is not None:
+            selected: Iterator[TraceEvent] = (event for _, event in self._rings.get(kind, ()))
+        else:
+            selected = iter(self._retained())
+            if kind is not None:
+                selected = (event for event in selected if event.kind == kind)
         if player is not None:
             selected = (event for event in selected if event.player == player)
         return list(selected)
 
     def count(self, kind: str) -> int:
-        """Number of events of ``kind``."""
-        return sum(1 for event in self._events if event.kind == kind)
+        """Lifetime number of events of ``kind`` (O(1), exact even when
+        the retention window has dropped some of them)."""
+        return self._counts.get(kind, 0)
 
     def last(self, kind: str) -> Optional[TraceEvent]:
-        """The most recent event of ``kind``, or None."""
-        for event in reversed(self._events):
-            if event.kind == kind:
-                return event
-        return None
+        """The most recent event of ``kind``, or None (O(1))."""
+        return self._last.get(kind)
+
+    def dropped(self, kind: Optional[str] = None) -> int:
+        """Events evicted by the retention window (0 in legacy mode)."""
+        if kind is not None:
+            return self._dropped.get(kind, 0)
+        return sum(self._dropped.values())
+
+    def truncated(self, kind: Optional[str] = None) -> bool:
+        """True if retention dropped any event (of ``kind``, if given).
+
+        Oracle checks consult this before iterating: a checker whose
+        evidence window was truncated refuses to certify rather than
+        silently passing on a partial trace.
+        """
+        return self.dropped(kind) > 0
 
     def __len__(self) -> int:
-        return len(self._events)
+        """Lifetime event count (exact even under retention)."""
+        return self._total
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self._retained())

@@ -50,6 +50,44 @@ class Workload(ABC):
         self._replicas: Dict[int, Any] = {}
         self._counter = 0
         self._installed = False
+        self._accumulator: Any = None
+        self._submission_window: int | None = None
+        self._dropped_submissions = 0
+
+    # ------------------------------------------------------------------
+    # Bounded-memory soak hooks (RetentionSpec)
+    # ------------------------------------------------------------------
+    def attach_accumulator(self, accumulator: Any) -> None:
+        """Stream every submission into ``accumulator.note_submit`` —
+        the deployment wires this when any retention window is set, so
+        throughput no longer needs the full submission record."""
+        self._accumulator = accumulator
+
+    def bound_submissions(self, window: int) -> None:
+        """Keep only the newest ``window`` recorded submissions.
+
+        Older pairs have already been streamed to the accumulator;
+        :meth:`submissions`/:meth:`submitted_ids` then return the
+        retained suffix and :attr:`submissions_truncated` turns True
+        once anything is dropped, so analysis code can refuse instead
+        of treating the suffix as the complete history.
+        """
+        if window < 1:
+            raise ValueError("window must be positive")
+        self._submission_window = window
+        self._trim_submissions()
+
+    def _trim_submissions(self) -> None:
+        window = self._submission_window
+        if window is None or len(self._submissions) <= window:
+            return
+        excess = len(self._submissions) - window
+        del self._submissions[:excess]
+        self._dropped_submissions += excess
+
+    @property
+    def submissions_truncated(self) -> bool:
+        return self._dropped_submissions > 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -88,6 +126,9 @@ class Workload(ABC):
         now = self._engine.now
         for tx in transactions:
             self._submissions.append((tx.tx_id, now))
+            if self._accumulator is not None:
+                self._accumulator.note_submit(tx.tx_id, now)
+        self._trim_submissions()
         for player_id in sorted(self._replicas):
             self._replicas[player_id].submit_transactions(list(transactions))
 
@@ -95,7 +136,8 @@ class Workload(ABC):
     # Observations
     # ------------------------------------------------------------------
     def submissions(self) -> List[Tuple[str, float]]:
-        """Ordered ``(tx_id, submit_time)`` pairs so far."""
+        """Ordered ``(tx_id, submit_time)`` pairs so far (the retained
+        suffix when a submission window is bounding memory)."""
         return list(self._submissions)
 
     def submitted_ids(self) -> List[str]:
@@ -103,4 +145,5 @@ class Workload(ABC):
 
     @property
     def submitted_count(self) -> int:
-        return len(self._submissions)
+        """Lifetime submission count (exact even under a window)."""
+        return len(self._submissions) + self._dropped_submissions

@@ -1,0 +1,151 @@
+"""Tests for the geo-latency matrix (RegionalDelay) and its axes.
+
+Covers the seeded region matrix (determinism, symmetry, intra-region
+floor), the per-delivery jitter, the finite delay bound the engine's
+GST machinery needs, Scenario/CLI validation of the regional axes, and
+the regional-honest catalog entry end to end.
+"""
+
+import pytest
+
+from repro.experiments import Scenario, get_scenario
+from repro.net.delays import FixedDelay, RegionalDelay
+
+
+class TestRegionalDelay:
+    def test_same_seed_same_matrix_and_schedule(self):
+        kwargs = dict(
+            assignment=[0, 1, 0, 1], delta=0.5, spread=3.0, jitter=0.2, seed=7
+        )
+        first = RegionalDelay(**kwargs)
+        second = RegionalDelay(**kwargs)
+        schedule = [
+            (s, r, t) for s in range(4) for r in range(4) for t in (0.0, 5.0)
+        ]
+        assert [first.delay(s, r, t) for s, r, t in schedule] == [
+            second.delay(s, r, t) for s, r, t in schedule
+        ]
+
+    def test_different_seed_different_matrix(self):
+        a = RegionalDelay(assignment=[0, 1], seed=0)
+        b = RegionalDelay(assignment=[0, 1], seed=1)
+        assert [a.delay(0, 1, 0.0) for _ in range(4)] != [
+            b.delay(0, 1, 0.0) for _ in range(4)
+        ]
+
+    def test_base_matrix_is_symmetric(self):
+        model = RegionalDelay(
+            assignment=[0, 1, 2], delta=1.0, spread=4.0, jitter=0.0, seed=3
+        )
+        # jitter=0 exposes the raw base matrix through delay().
+        for a in range(3):
+            for b in range(3):
+                assert model.delay(a, b, 0.0) == model.delay(b, a, 0.0)
+
+    def test_intra_region_is_the_floor(self):
+        model = RegionalDelay(
+            assignment=[0, 0, 1, 1], delta=2.0, spread=4.0, jitter=0.0, seed=0
+        )
+        intra = model.delay(0, 1, 0.0)
+        inter = model.delay(0, 2, 0.0)
+        assert intra == 2.0
+        assert inter > intra  # spread >= 1 keeps cross-region slower
+
+    def test_jitter_bounds_each_delivery(self):
+        model = RegionalDelay(
+            assignment=[0, 1], delta=1.0, spread=2.0, jitter=0.5, seed=0
+        )
+        base = RegionalDelay(
+            assignment=[0, 1], delta=1.0, spread=2.0, jitter=0.0, seed=0
+        ).delay(0, 1, 0.0)
+        for _ in range(100):
+            observed = model.delay(0, 1, 0.0)
+            assert base <= observed <= base * 1.5
+
+    def test_bound_at_is_finite_and_dominates(self):
+        model = RegionalDelay(
+            assignment=[0, 1, 2, 0], delta=0.5, spread=5.0, jitter=0.3, seed=0
+        )
+        bound = model.bound_at(0.0)
+        assert bound < float("inf")
+        for _ in range(200):
+            for s in range(4):
+                for r in range(4):
+                    assert model.delay(s, r, 0.0) <= bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionalDelay(assignment=[])
+        with pytest.raises(ValueError):
+            RegionalDelay(assignment=[0, -1])
+        with pytest.raises(ValueError):
+            RegionalDelay(assignment=[0, 1], delta=0.0)
+        with pytest.raises(ValueError):
+            RegionalDelay(assignment=[0, 1], spread=0.5)
+        with pytest.raises(ValueError):
+            RegionalDelay(assignment=[0, 1], jitter=-0.1)
+
+
+class TestScenarioRegionalAxes:
+    def test_regional_requires_regions(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", n=4, rounds=1, delay="regional")
+
+    def test_regions_require_regional_delay(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", n=4, rounds=1, delay="fixed", regions=2)
+
+    def test_regions_bounded_by_committee(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", n=4, rounds=1, delay="regional", regions=5)
+
+    def test_build_delay_round_robin_assignment(self):
+        scenario = Scenario(
+            name="x", n=6, rounds=1, delay="regional", regions=3, timeout=30.0
+        )
+        model = scenario.build_delay()
+        assert isinstance(model, RegionalDelay)
+        assert model.assignment == (0, 1, 2, 0, 1, 2)
+
+    def test_non_regional_scenarios_unaffected(self):
+        model = Scenario(name="x", n=4, rounds=1).build_delay()
+        assert isinstance(model, FixedDelay)
+
+
+class TestRegionalEndToEnd:
+    def test_catalog_entry_runs_oracle_clean(self):
+        scenario = get_scenario("regional-honest").with_params(
+            check_invariants=True
+        )
+        result = scenario.run(seed=0)
+        assert result.oracle.ok
+        digests = {
+            tuple(b.digest for b in chain.final_blocks())
+            for chain in result.honest_chains().values()
+        }
+        assert len(digests) == 1
+        assert result.final_block_count() > 0
+
+    def test_regional_run_is_deterministic(self):
+        scenario = get_scenario("regional-honest")
+        first = scenario.run(seed=1)
+        second = scenario.run(seed=1)
+        assert {
+            pid: tuple(b.digest for b in chain.final_blocks())
+            for pid, chain in first.honest_chains().items()
+        } == {
+            pid: tuple(b.digest for b in chain.final_blocks())
+            for pid, chain in second.honest_chains().items()
+        }
+
+    def test_regional_axis_sweeps(self):
+        """The new axes ride the generic with_params machinery."""
+        base = get_scenario("regional-honest")
+        tight = base.with_params(region_spread=1.0, region_jitter=0.0)
+        assert tight.region_spread == 1.0
+        model = tight.build_delay()
+        # spread=1, jitter=0 collapses to a uniform all-pairs delay.
+        delays = {
+            model.delay(s, r, 0.0) for s in range(tight.n) for r in range(tight.n)
+        }
+        assert delays == {tight.delta}

@@ -1,0 +1,263 @@
+"""Tests for the bounded-memory retention path (RetentionSpec et al.).
+
+Covers the TraceRecorder's per-kind ring buffers and exact lifetime
+counters, the CommitLog's consumed-prefix truncation, RetentionSpec
+validation and threading through RunSpec/Scenario/CLI, ledger
+body-pruning and round-state pruning, the mempool history bound, and
+the oracle's refusal semantics: checkers that need evicted history
+skip with an explanatory note instead of certifying a window they
+cannot see.
+"""
+
+import pytest
+
+from repro.agents.player import honest_player
+from repro.core.replica import prft_factory
+from repro.experiments import get_scenario
+from repro.ledger.block import Block
+from repro.protocols.base import ProtocolConfig
+from repro.ledger.chain import Chain
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import Transaction
+from repro.protocols.runner import RetentionSpec, RunSpec
+from repro.sim.metrics import CommitLog
+from repro.sim.trace import TraceRecorder
+
+
+def make_tx(i):
+    return Transaction(tx_id=f"tx{i}", payload=f"p{i}", submitted_at=float(i))
+
+
+def make_block(parent, round_number, txs=()):
+    return Block(
+        round_number=round_number,
+        proposer=0,
+        parent_digest=parent.digest,
+        transactions=tuple(txs),
+    )
+
+
+class TestTraceRecorderRetention:
+    def test_legacy_mode_unbounded_and_untruncated(self):
+        trace = TraceRecorder()
+        for i in range(100):
+            trace.record(float(i), "send", player=0)
+        assert trace.window is None
+        assert len(trace.events("send")) == 100
+        assert trace.dropped() == 0
+        assert not trace.truncated()
+
+    def test_window_is_per_kind(self):
+        trace = TraceRecorder(window=2)
+        for i in range(5):
+            trace.record(float(i), "send", player=0)
+        trace.record(9.0, "crash", player=1)
+        # Five sends overflow the window; the lone crash does not.
+        assert len(trace.events("send")) == 2
+        assert len(trace.events("crash")) == 1
+        assert trace.truncated("send")
+        assert not trace.truncated("crash")
+        assert trace.dropped("send") == 3
+        assert trace.dropped() == 3
+
+    def test_lifetime_counters_stay_exact_under_eviction(self):
+        trace = TraceRecorder(window=3)
+        for i in range(50):
+            trace.record(float(i), "send", player=i % 4)
+        assert trace.count("send") == 50
+        assert len(trace) == 50
+        assert trace.last("send").time == 49.0
+
+    def test_retained_events_interleave_in_record_order(self):
+        trace = TraceRecorder(window=2)
+        trace.record(0.0, "a")
+        trace.record(1.0, "b")
+        trace.record(2.0, "a")
+        trace.record(3.0, "b")
+        assert [(e.time, e.kind) for e in trace] == [
+            (0.0, "a"), (1.0, "b"), (2.0, "a"), (3.0, "b"),
+        ]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(window=0)
+
+
+class TestCommitLogRetention:
+    def _feed(self, log, count):
+        chain = Chain()
+        head = chain.head()
+        for i in range(count):
+            block = make_block(head, i + 1, [make_tx(i)])
+            log.note(0, float(i), block)
+            head = block
+
+    def test_window_evicts_consumed_prefix_after_listeners(self):
+        seen = []
+        log = CommitLog(window=3)
+        log.subscribe(lambda tx_id, when: seen.append(tx_id))
+        self._feed(log, 10)
+        # Every first commit was announced before its record could be
+        # evicted — the stream is complete even though the map is not.
+        assert seen == [f"tx{i}" for i in range(10)]
+        assert len(log.commit_times()) == 3
+        assert log.truncated
+        assert log.committed_transactions == 10
+        assert log.committed_blocks == 10
+
+    def test_unbounded_log_never_truncates(self):
+        log = CommitLog()
+        self._feed(log, 10)
+        assert len(log.commit_times()) == 10
+        assert not log.truncated
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CommitLog(window=0)
+
+
+class TestRetentionSpec:
+    def test_defaults_are_inactive(self):
+        assert not RetentionSpec().active
+
+    def test_any_window_activates(self):
+        for field in ("trace_window", "commit_window", "submission_window",
+                      "ledger_window"):
+            assert RetentionSpec(**{field: 5}).active
+        assert RetentionSpec(backlog_resolution=8).active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionSpec(trace_window=0)
+        with pytest.raises(ValueError):
+            RetentionSpec(backlog_resolution=1)
+
+    def test_derive_folds_retention_dict(self):
+        base = RunSpec(
+            factory=prft_factory,
+            players=tuple(honest_player(i) for i in range(4)),
+            config=ProtocolConfig.for_prft(n=4),
+        )
+        derived = base.derive(retention={"trace_window": 7})
+        assert derived.retention.trace_window == 7
+        assert derived.retention.commit_window is None
+        assert not base.retention.active
+
+
+class TestLedgerRetention:
+    def test_prune_final_bodies_keeps_digests_and_length(self):
+        chain = Chain()
+        blocks = []
+        for i in range(6):
+            block = make_block(chain.head(), i + 1, [make_tx(i)])
+            chain.append_tentative(block)
+            chain.finalize(block.digest)
+            blocks.append(block)
+        pruned = chain.prune_final_bodies(keep_last=2)
+        assert pruned == 4
+        assert chain.bodies_pruned
+        finals = chain.final_blocks()
+        assert len(finals) == 6
+        # Digests and parent links are untouched; deep bodies are gone.
+        for original, kept in zip(blocks, finals):
+            assert kept.digest == original.digest
+        assert finals[0].transactions == ()
+        assert finals[-1].transactions == blocks[-1].transactions
+
+    def test_prune_is_idempotent_and_monotone(self):
+        chain = Chain()
+        for i in range(6):
+            block = make_block(chain.head(), i + 1, [make_tx(i)])
+            chain.append_tentative(block)
+            chain.finalize(block.digest)
+        assert chain.prune_final_bodies(keep_last=2) == 4
+        assert chain.prune_final_bodies(keep_last=2) == 0
+
+    def test_mempool_history_limit_bounds_known_ids(self):
+        pool = Mempool()
+        pool.history_limit = 8
+        for i in range(100):
+            pool.submit(make_tx(i))
+        pool.mark_included([f"tx{i}" for i in range(100)])
+        assert len(pool) == 0
+        # The dedup history holds only the retained suffix.
+        assert pool.submit(make_tx(0))  # forgotten, re-admitted
+        assert not pool.submit(make_tx(99))  # still remembered
+
+
+class TestOracleRefusal:
+    def test_trace_eviction_skips_declared_checker(self):
+        """churn-liveness records two crash/recover pairs; a one-event
+        trace window evicts the older pair, so the crash-recovery
+        checker must refuse rather than replay half an alternation."""
+        scenario = get_scenario("churn-liveness").with_params(
+            trace_window=1, check_invariants=True
+        )
+        result = scenario.run(seed=0)
+        assert result.trace.truncated("crash") or result.trace.truncated("recover")
+        statuses = dict(result.oracle.as_items())
+        assert statuses["crash-recovery"] == "skipped"
+        verdict = result.oracle.verdict("crash-recovery")
+        assert "retention" in verdict.note
+        assert result.oracle.ok  # refusal is not a violation
+
+    def test_full_history_checker_skips_when_submissions_evicted(self):
+        scenario = get_scenario("poisson-honest").with_params(
+            submission_window=1, check_invariants=True
+        )
+        result = scenario.run(seed=0)
+        assert result.history_truncated
+        statuses = dict(result.oracle.as_items())
+        assert statuses["validity"] == "skipped"
+
+    def test_untruncated_retention_run_still_certifies(self):
+        """Windows wide enough to retain everything leave every checker
+        active: refusal triggers on actual eviction, not on the mode."""
+        scenario = get_scenario("crash-leader").with_params(
+            trace_window=100_000, check_invariants=True
+        )
+        result = scenario.run(seed=0)
+        statuses = dict(result.oracle.as_items())
+        assert statuses["crash-recovery"] == "ok"
+        assert result.oracle.ok
+
+
+class TestRetentionEndToEnd:
+    def test_retained_run_matches_unbounded_scalars(self):
+        """A retention run must not change what happened — only what is
+        remembered: scalar throughput totals match the unbounded run."""
+        base = get_scenario("poisson-honest")
+        unbounded = base.run(seed=0)
+        retained = base.with_params(
+            trace_window=64,
+            commit_window=4096,
+            submission_window=1024,
+            ledger_window=4,
+            backlog_resolution=32,
+        ).run(seed=0)
+        assert retained.throughput.submitted == unbounded.throughput.submitted
+        assert retained.throughput.committed == unbounded.throughput.committed
+        assert retained.throughput.blocks == unbounded.throughput.blocks
+        assert retained.throughput.latency_p99 == pytest.approx(
+            unbounded.throughput.latency_p99
+        )
+        # And the bounded structures actually engaged.
+        assert retained.throughput.final_backlog == unbounded.throughput.final_backlog
+
+    def test_round_state_pruning_preserves_agreement(self):
+        """ledger_window also prunes per-round protocol state; honest
+        chains must still agree block for block."""
+        result = get_scenario("poisson-honest").with_params(
+            ledger_window=2
+        ).run(seed=0)
+        chains = result.honest_chains()
+        digests = {
+            pid: tuple(b.digest for b in chain.final_blocks())
+            for pid, chain in chains.items()
+        }
+        assert len(set(digests.values())) == 1
+        assert any(chain.bodies_pruned for chain in chains.values())
+        for replica in result.replicas.values():
+            rounds = getattr(replica, "_rounds", None)
+            if isinstance(rounds, dict) and replica.current_round > 10:
+                assert min(rounds) > 0  # round 1's state is long gone
