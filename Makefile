@@ -6,9 +6,9 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining bench-soak soak-smoke pipelining-smoke large-n-smoke example clean
+.PHONY: check test smoke catalog-check report-smoke fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining bench-soak soak-smoke pipelining-smoke large-n-smoke example clean
 
-check: test smoke catalog-check
+check: test smoke catalog-check report-smoke
 	@echo "check: OK"
 
 test:
@@ -22,6 +22,25 @@ smoke:
 # Every catalog entry through the trace oracle (exit 1 on violation).
 catalog-check:
 	$(PYTHON) -m repro.cli check-catalog
+
+# Results-warehouse smoke: ingest the checked-in BENCH_*.json
+# trajectories plus a fresh sweep's JSON/CSV into one SQLite file,
+# prove re-ingest is a no-op, and run every `repro report` query —
+# including the same --against-stored regression gate the CI
+# bench-smoke job enforces (it must pass on the real trajectory).
+report-smoke:
+	rm -f /tmp/repro-warehouse.sqlite
+	$(PYTHON) -m repro.cli sweep honest --grid n=4 --seeds 2 \
+		--out /tmp/repro-report-sweep.json --csv /tmp/repro-report-sweep.csv
+	$(PYTHON) -m repro.cli ingest BENCH_crypto.json BENCH_network.json BENCH_throughput.json \
+		/tmp/repro-report-sweep.json /tmp/repro-report-sweep.csv \
+		--db /tmp/repro-warehouse.sqlite
+	$(PYTHON) -m repro.cli ingest BENCH_crypto.json --db /tmp/repro-warehouse.sqlite \
+		| grep -q "| 0 *$$"
+	$(PYTHON) -m repro.cli report trajectory --db /tmp/repro-warehouse.sqlite --limit 5
+	$(PYTHON) -m repro.cli report regressions --db /tmp/repro-warehouse.sqlite \
+		--against-stored --fail-over 15
+	$(PYTHON) -m repro.cli report campaign --db /tmp/repro-warehouse.sqlite
 
 # Bounded-budget fuzzer gate: the seeded property tests (marker
 # `fuzz`) plus a CLI fuzz pass with a deliberately injected violation

@@ -13,8 +13,10 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 import subprocess
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -44,15 +46,45 @@ def bench_path(name: str) -> Path:
 
 
 def load_trajectory(name: str) -> List[Dict[str, Any]]:
-    """All recorded entries for ``name`` (empty if none yet)."""
+    """All recorded entries for ``name`` (empty if none yet).
+
+    A file that exists but does not parse as a JSON list is *not*
+    silently discarded — the next ``record_bench`` would overwrite a
+    corrupt-but-recoverable trajectory with a single fresh entry,
+    destroying months of history.  Instead the file is copied to a
+    ``.corrupt`` sidecar and a warning names it, so the history can be
+    hand-repaired and re-ingested.
+    """
     path = bench_path(name)
     if not path.exists():
         return []
     try:
         data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+    except OSError:
         return []
-    return data if isinstance(data, list) else []
+    except json.JSONDecodeError as error:
+        _quarantine(path, f"invalid JSON ({error})")
+        return []
+    if not isinstance(data, list):
+        _quarantine(path, f"expected a JSON list, found {type(data).__name__}")
+        return []
+    return data
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Sidecar-backup a broken trajectory file before it gets replaced."""
+    backup = path.with_suffix(path.suffix + ".corrupt")
+    try:
+        if not backup.exists():  # keep the first (most complete) copy
+            shutil.copy2(path, backup)
+        note = f"history preserved at {backup}"
+    except OSError as error:
+        note = f"backup failed too ({error})"
+    warnings.warn(
+        f"{path}: {reason}; treating the trajectory as empty — {note}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def record_bench(name: str, payload: Dict[str, Any]) -> Path:
@@ -72,4 +104,12 @@ def record_bench(name: str, payload: Dict[str, Any]) -> Path:
     trajectory.append(entry)
     path = bench_path(name)
     path.write_text(json.dumps(trajectory[-MAX_ENTRIES:], indent=2, sort_keys=True) + "\n")
+    try:
+        # Opt-in mirror into the results warehouse (REPRO_WAREHOUSE);
+        # benches run with PYTHONPATH=src, but stay usable without it.
+        from repro.experiments.warehouse import maybe_persist_bench
+
+        maybe_persist_bench(name, entry)
+    except ImportError:
+        pass
     return path

@@ -7,6 +7,9 @@ Subcommands::
     repro fuzz [...]                      # generated scenarios + oracle + shrinking
     repro check-catalog                   # trace oracle over every catalog entry
     repro list-scenarios                  # the registered catalog
+    repro ingest [FILE...]                # load BENCH_*.json / sweep JSON / CSV
+                                          # into the SQLite results warehouse
+    repro report trajectory|regressions|campaign  # query the warehouse
 
 Examples::
 
@@ -21,6 +24,10 @@ Examples::
     repro fuzz --budget 200 --seed 0 --jobs 8 --artifacts fuzz-artifacts
     repro check-catalog
     repro list-scenarios
+    repro ingest BENCH_throughput.json results.json results.csv --db warehouse.sqlite
+    repro report trajectory --db warehouse.sqlite --metric knee_shift
+    repro report regressions --db warehouse.sqlite --against-stored --fail-over 15
+    repro report campaign --db warehouse.sqlite
 
 The bare legacy form ``repro honest -n 8`` (no subcommand) keeps
 working: a leading CLI scenario name is routed to ``run``.
@@ -39,6 +46,7 @@ written as a ready-to-register JSON that ``repro run <file>`` replays.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
@@ -317,6 +325,87 @@ def build_cli_parser() -> argparse.ArgumentParser:
         "list-scenarios", help="list the registered scenario catalog"
     )
     list_parser.set_defaults(func=cmd_list_scenarios)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="load BENCH_*.json trajectories and sweep/fuzz JSON or CSV "
+             "record files into the SQLite results warehouse",
+    )
+    ingest_parser.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="files to ingest (default: every BENCH_*.json in the "
+             "current directory)",
+    )
+    ingest_parser.add_argument(
+        "--db", default="warehouse.sqlite",
+        help="warehouse database path (created if missing; default: %(default)s)",
+    )
+    ingest_parser.set_defaults(func=cmd_ingest)
+
+    report_parser = subparsers.add_parser(
+        "report", help="query the results warehouse"
+    )
+    report_sub = report_parser.add_subparsers(dest="report_command", required=True)
+
+    trajectory_parser = report_sub.add_parser(
+        "trajectory",
+        help="per-commit performance trajectory of stored bench metrics",
+    )
+    trajectory_parser.add_argument("--db", default="warehouse.sqlite")
+    trajectory_parser.add_argument(
+        "--bench", default=None, help="restrict to one bench (crypto/network/throughput)"
+    )
+    trajectory_parser.add_argument(
+        "--metric", default=None,
+        help="a flattened metric path, e.g. closed_loop.prft.blocks_per_sec "
+             "(default: the CI gate metrics)",
+    )
+    trajectory_parser.add_argument(
+        "--limit", type=int, default=12,
+        help="newest points shown per (metric, smoke class); 0 = all",
+    )
+    trajectory_parser.set_defaults(func=cmd_report_trajectory)
+
+    regressions_parser = report_sub.add_parser(
+        "regressions",
+        help="throughput-regression check: fresh entries vs the stored "
+             "trajectory median, or a diff between two commits",
+    )
+    regressions_parser.add_argument("--db", default="warehouse.sqlite")
+    regressions_parser.add_argument(
+        "--against-stored", action="store_true",
+        help="gate mode: compare the freshest point of each gated metric "
+             "(per smoke class) against the median of its stored history; "
+             "exit 1 on any regression beyond --fail-over",
+    )
+    regressions_parser.add_argument(
+        "--fail-over", type=float, default=15.0, metavar="PCT",
+        help="regression tolerance in percent (default: %(default)s)",
+    )
+    regressions_parser.add_argument(
+        "--baseline", default=None, metavar="COMMIT",
+        help="diff mode: baseline commit (short sha, as stored)",
+    )
+    regressions_parser.add_argument(
+        "--candidate", default=None, metavar="COMMIT",
+        help="diff mode: candidate commit to compare against --baseline",
+    )
+    regressions_parser.add_argument(
+        "--metric", action="append", default=[], metavar="NAME[:higher|lower]",
+        help="override the gated metric set (repeatable); direction "
+             "suffix says which way is better (default higher)",
+    )
+    regressions_parser.add_argument(
+        "--bench", default=None, help="restrict --metric / diff mode to one bench"
+    )
+    regressions_parser.set_defaults(func=cmd_report_regressions)
+
+    campaign_parser = report_sub.add_parser(
+        "campaign",
+        help="violation triage over every stored run (fuzz campaigns)",
+    )
+    campaign_parser.add_argument("--db", default="warehouse.sqlite")
+    campaign_parser.set_defaults(func=cmd_report_campaign)
     return parser
 
 
@@ -761,11 +850,199 @@ def cmd_list_scenarios(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Warehouse subcommands: ingest and report
+# ----------------------------------------------------------------------
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import glob
+
+    from repro.experiments.warehouse import Warehouse
+
+    files = list(args.files) or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        raise SystemExit(
+            "nothing to ingest: pass files, or run from a directory with BENCH_*.json"
+        )
+    rows = []
+    with Warehouse(args.db) as store:
+        for path in files:
+            if not os.path.exists(path):
+                raise SystemExit(f"ingest: {path!r} does not exist")
+            try:
+                outcome = store.ingest_file(path)
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+                raise SystemExit(f"ingest: {path}: {error}")
+            rows.append([outcome.path, outcome.kind, outcome.seen, outcome.added])
+        runs, benches = store.run_count(), store.bench_count()
+    print(render_table(
+        ["file", "kind", "entries", "new rows"],
+        rows,
+        title=f"ingest -> {args.db}",
+    ))
+    print(f"warehouse now holds {runs} run record(s), {benches} bench entr(y/ies)")
+    return 0
+
+
+def _parse_metric_specs(specs: Sequence[str], bench: Optional[str]) -> List[tuple]:
+    """``NAME[:higher|lower]`` flags into (bench, metric, direction)."""
+    gates = []
+    for spec in specs:
+        name, separator, direction = spec.partition(":")
+        if separator and direction not in ("higher", "lower"):
+            raise SystemExit(
+                f"bad --metric spec {spec!r}; expected NAME[:higher|lower]"
+            )
+        if bench is None:
+            raise SystemExit("--metric needs --bench to scope the metric")
+        gates.append((bench, name, direction or "higher"))
+    return gates
+
+
+def cmd_report_trajectory(args: argparse.Namespace) -> int:
+    from repro.experiments.warehouse import GATE_METRICS, Warehouse
+
+    with Warehouse(args.db) as store:
+        if args.metric is not None:
+            points = store.perf_trajectory(bench=args.bench, metric=args.metric)
+        else:
+            points = []
+            for bench, metric, _ in GATE_METRICS:
+                if args.bench is not None and bench != args.bench:
+                    continue
+                points.extend(store.perf_trajectory(bench=bench, metric=metric))
+    if args.limit:
+        by_series: Dict[tuple, List[Any]] = {}
+        for point in points:
+            by_series.setdefault((point.bench, point.metric, point.smoke), []).append(point)
+        points = [
+            point
+            for series in by_series.values()
+            for point in series[-args.limit:]
+        ]
+    rows = [
+        [p.bench, p.metric, p.commit or "-", p.timestamp or "-",
+         "smoke" if p.smoke else "full", p.value]
+        for p in points
+    ]
+    print(render_table(
+        ["bench", "metric", "commit", "timestamp", "class", "value"],
+        rows,
+        title=f"perf trajectory ({args.db}): {len(rows)} point(s)",
+    ))
+    if not rows:
+        print("no stored points match; ingest BENCH_*.json first or try --metric")
+    return 0
+
+
+def _print_findings(findings: Sequence[Any], title: str) -> int:
+    rows = [
+        [
+            finding.bench,
+            finding.metric,
+            "smoke" if finding.smoke else "full",
+            finding.direction,
+            round(finding.baseline, 4),
+            round(finding.fresh, 4),
+            f"{finding.change_pct:+.1f}%",
+            "REGRESSED" if finding.regressed else "ok",
+        ]
+        for finding in findings
+    ]
+    print(render_table(
+        ["bench", "metric", "class", "better", "baseline", "fresh", "change", "verdict"],
+        rows,
+        title=title,
+    ))
+    regressed = [finding for finding in findings if finding.regressed]
+    for finding in regressed:
+        print(
+            f"regression: {finding.bench}:{finding.metric} "
+            f"[{'smoke' if finding.smoke else 'full'}] {finding.change_pct:+.1f}% "
+            f"vs stored baseline {finding.baseline:.4f} "
+            f"({finding.points} point(s) of history)"
+        )
+    return 1 if regressed else 0
+
+
+def cmd_report_regressions(args: argparse.Namespace) -> int:
+    from repro.experiments.warehouse import Warehouse
+
+    gates = _parse_metric_specs(args.metric, args.bench) or None
+    diff_mode = args.baseline is not None or args.candidate is not None
+    if diff_mode and (args.baseline is None or args.candidate is None):
+        raise SystemExit("diff mode needs both --baseline and --candidate")
+    if diff_mode and args.against_stored:
+        raise SystemExit("pass either --against-stored or --baseline/--candidate, not both")
+    if not diff_mode and not args.against_stored:
+        raise SystemExit(
+            "pick a mode: --against-stored (CI gate) or --baseline/--candidate (diff)"
+        )
+    with Warehouse(args.db) as store:
+        if args.against_stored:
+            findings = store.regressions_against_stored(
+                fail_over_pct=args.fail_over, gates=gates
+            )
+            title = (
+                f"regression gate ({args.db}): fresh vs stored median, "
+                f"tolerance {args.fail_over:g}%"
+            )
+        else:
+            findings = store.regression_between(
+                args.baseline,
+                args.candidate,
+                bench=args.bench,
+                fail_over_pct=args.fail_over,
+                gates=gates,
+            )
+            title = (
+                f"regression diff ({args.db}): {args.baseline} -> {args.candidate}, "
+                f"tolerance {args.fail_over:g}%"
+            )
+    status = _print_findings(findings, title)
+    if not findings:
+        print(
+            "no comparable history (need >= 2 stored points per gated metric "
+            "and smoke class); gate passes vacuously"
+        )
+    return status
+
+
+def cmd_report_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.warehouse import Warehouse
+
+    with Warehouse(args.db) as store:
+        summary = store.campaign_summary()
+    rows = [
+        [
+            group.checker,
+            group.runs,
+            ", ".join(group.scenarios[:4]) + (", …" if len(group.scenarios) > 4 else ""),
+            "; ".join(f"{scenario}@{seed}" for scenario, seed in group.examples),
+        ]
+        for group in summary.by_checker
+    ]
+    print(render_table(
+        ["violated checker", "runs", "scenarios", "examples (scenario@seed)"],
+        rows,
+        title=(
+            f"campaign triage ({args.db}): {summary.total_runs} run(s), "
+            f"{summary.checked_runs} oracle-checked, "
+            f"{summary.violating_runs} violating"
+        ),
+    ))
+    if not summary.by_checker:
+        print("no stored violations — campaign clean")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    subcommands = ("run", "sweep", "fuzz", "check-catalog", "list-scenarios")
+    subcommands = (
+        "run", "sweep", "fuzz", "check-catalog", "list-scenarios",
+        "ingest", "report",
+    )
     legacy = (
         argv
         and argv[0] not in subcommands

@@ -1,10 +1,13 @@
 """Experiment orchestration: scenario registry, sweeps, results.
 
-The three modules layer as::
+The modules layer as::
 
     registry  — declarative Scenario dataclasses + the named catalog
     sweep     — grid expansion and serial / multiprocess execution
     results   — flat RunRecord rows, JSON/CSV i/o, aggregation
+    fuzz      — seeded scenario generation, oracle checks, shrinking
+    warehouse — SQLite store over records + bench trajectories, with
+                trajectory/regression/triage queries (`repro report`)
 
 Typical use::
 
@@ -31,10 +34,19 @@ from repro.experiments.results import (
     aggregate,
     mean,
     percentile,
+    read_csv,
     read_json,
     records_to_json,
     write_csv,
     write_json,
+)
+from repro.experiments.warehouse import (
+    GATE_METRICS,
+    CampaignSummary,
+    IngestReport,
+    RegressionFinding,
+    TrajectoryPoint,
+    Warehouse,
 )
 from repro.experiments.sweep import (
     SweepJob,
@@ -58,10 +70,17 @@ __all__ = [
     "aggregate",
     "mean",
     "percentile",
+    "read_csv",
     "read_json",
     "records_to_json",
     "write_csv",
     "write_json",
+    "GATE_METRICS",
+    "CampaignSummary",
+    "IngestReport",
+    "RegressionFinding",
+    "TrajectoryPoint",
+    "Warehouse",
     "SweepJob",
     "SweepResult",
     "expand_grid",

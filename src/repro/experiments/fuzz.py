@@ -255,12 +255,23 @@ def injected_violation_trial(fuzz_seed: int) -> FuzzTrial:
 # ----------------------------------------------------------------------
 def run_trial(trial: FuzzTrial) -> RunRecord:
     """Execute one trial oracle-checked (worker entry point)."""
+    from repro.experiments.warehouse import (
+        maybe_persist_records,
+        suppressed_run_autopersist,
+    )
+
     start = time.perf_counter()
-    result = trial.scenario.run(seed=trial.seed)
+    with suppressed_run_autopersist():
+        result = trial.scenario.run(seed=trial.seed)
     elapsed = time.perf_counter() - start
-    return RunRecord.from_result(
+    record = RunRecord.from_result(
         trial.scenario, seed=trial.seed, result=result, wall_time=elapsed
     )
+    # Opt-in warehouse mirror (REPRO_WAREHOUSE): a ≥10⁴-trial campaign
+    # becomes resumable and triagable — every trial's verdicts land as
+    # it finishes, queryable via `repro report campaign`.
+    maybe_persist_records([record], source="fuzz")
+    return record
 
 
 @dataclass(frozen=True)

@@ -557,6 +557,14 @@ class Scenario:
         result = run(spec)
         if self.check_invariants:
             result.oracle = run_oracle(result, scenario=self, seed=seed)
+        # Opt-in warehouse mirror (REPRO_WAREHOUSE): flatten and store
+        # the finished run.  Lazy import — the hook is a no-op for the
+        # overwhelmingly common un-opted-in case, and sweep/fuzz
+        # workers suppress it because they persist the full
+        # params-carrying record themselves.
+        from repro.experiments.warehouse import maybe_persist_result
+
+        maybe_persist_result(self, seed, result)
         return result
 
     def with_params(self, **overrides: Any) -> "Scenario":

@@ -247,6 +247,11 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
     Oracle columns (per-checker statuses and the violated names) appear
     only when the oracle ran for some record, so oracle-free sweeps
     keep their historical column set byte for byte.
+
+    ``censorship_resistance`` is tri-state: ``True``/``False`` verdicts
+    write as such, and not-applicable (``None``) writes as an *empty
+    cell* — never the string ``"None"``, which would be indistinguishable
+    from a scenario value and unparseable on the way back in.
     """
     axes = sorted({key for record in records for key, _ in record.params})
     with_oracle = any(record.invariants is not None for record in records)
@@ -265,6 +270,8 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
             params = record.param_dict()
             row: List[Any] = [getattr(record, name) for name in _CSV_FIELDS]
             row[_CSV_FIELDS.index("penalised")] = " ".join(map(str, record.penalised))
+            if record.censorship_resistance is None:
+                row[_CSV_FIELDS.index("censorship_resistance")] = ""
             row.extend(params.get(axis, "") for axis in axes)
             if with_oracle:
                 row.append(
@@ -284,6 +291,85 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
             if include_timing:
                 row.append(record.wall_time)
             writer.writerow(row)
+
+
+_CSV_BOOL_FIELDS = (
+    "robust", "agreement", "strict_ordering", "validity",
+    "eventual_liveness", "progressed",
+)
+_CSV_INT_FIELDS = (
+    "seed", "final_blocks", "total_messages", "total_bytes", "events",
+)
+
+
+def _csv_scalar(raw: str) -> Any:
+    """Best-effort typed parse of one CSV cell (bool/int/float/str)."""
+    if raw in ("True", "False"):
+        return raw == "True"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _csv_tristate(raw: str) -> Optional[bool]:
+    # Empty cell is the canonical N/A; the string "None" is accepted
+    # for files written before the tri-state fix.
+    if raw in ("", "None"):
+        return None
+    return raw == "True"
+
+
+def read_csv(path: str) -> List[RunRecord]:
+    """Load records back from :func:`write_csv` output (best effort).
+
+    The flat CSV is a lossy projection: per-player utilities and the
+    backlog series never leave the JSON form, so round-tripped records
+    carry ``utilities=()`` and scalar-only throughput.  Everything the
+    CSV does carry — verdict booleans, the tri-state
+    ``censorship_resistance`` (empty cell → ``None``), params,
+    oracle statuses, throughput scalars — parses back typed.
+    """
+    records: List[RunRecord] = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            data: Dict[str, Any] = {
+                "scenario": row["scenario"],
+                "protocol": row["protocol"],
+                "state": row["state"],
+                "censorship_resistance": _csv_tristate(row["censorship_resistance"]),
+                "penalised": [int(pid) for pid in row["penalised"].split()],
+                "utilities": {},
+            }
+            for name in _CSV_BOOL_FIELDS:
+                data[name] = row[name] == "True"
+            for name in _CSV_INT_FIELDS:
+                data[name] = int(row[name])
+            data["params"] = {
+                column[len("param:"):]: _csv_scalar(value)
+                for column, value in row.items()
+                if column.startswith("param:") and value != ""
+            }
+            if row.get("invariants"):
+                data["invariants"] = dict(
+                    pair.split("=", 1) for pair in row["invariants"].split(";")
+                )
+                data["invariant_violations"] = row.get(
+                    "invariant_violations", ""
+                ).split()
+            if row.get("throughput"):
+                data["throughput"] = {
+                    name: _csv_scalar(value)
+                    for name, value in (
+                        pair.split("=", 1) for pair in row["throughput"].split(";")
+                    )
+                }
+            if row.get("wall_time"):
+                data["wall_time"] = float(row["wall_time"])
+            records.append(RunRecord.from_dict(data))
+    return records
 
 
 # ----------------------------------------------------------------------
@@ -349,8 +435,18 @@ def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
         if reports:
             # Continuous-workload groups: the headline rates, averaged
             # over seeds (absent from legacy groups, same reasoning).
-            summary["mean_blocks_per_sec"] = mean([t["blocks_per_sec"] for t in reports])
-            summary["mean_latency_p99"] = mean([t["latency_p99"] for t in reports])
-            summary["max_peak_backlog"] = max(t["peak_backlog"] for t in reports)
+            # Per-scalar presence checks: a group may mix records from
+            # different schema vintages (from_dict of files written
+            # before a scalar existed), and one old record must not
+            # KeyError the whole summary.
+            rates = [t["blocks_per_sec"] for t in reports if "blocks_per_sec" in t]
+            if rates:
+                summary["mean_blocks_per_sec"] = mean(rates)
+            p99s = [t["latency_p99"] for t in reports if "latency_p99" in t]
+            if p99s:
+                summary["mean_latency_p99"] = mean(p99s)
+            backlogs = [t["peak_backlog"] for t in reports if "peak_backlog" in t]
+            if backlogs:
+                summary["max_peak_backlog"] = max(backlogs)
         summaries.append(summary)
     return summaries

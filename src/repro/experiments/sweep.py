@@ -86,16 +86,27 @@ def expand_grid(
 
 def run_job(job: SweepJob) -> RunRecord:
     """Execute one job and flatten it to a record (worker entry point)."""
+    from repro.experiments.warehouse import (
+        maybe_persist_records,
+        suppressed_run_autopersist,
+    )
+
     start = time.perf_counter()
-    result = job.scenario.run(seed=job.seed)
+    with suppressed_run_autopersist():
+        result = job.scenario.run(seed=job.seed)
     elapsed = time.perf_counter() - start
-    return RunRecord.from_result(
+    record = RunRecord.from_result(
         job.scenario,
         seed=job.seed,
         result=result,
         params=dict(job.params),
         wall_time=elapsed,
     )
+    # Opt-in warehouse mirror (REPRO_WAREHOUSE): persisting from the
+    # worker keeps long sweeps resumable — records land as they finish,
+    # not only if the whole campaign survives to its final write.
+    maybe_persist_records([record], source=f"sweep:{job.scenario.name}")
+    return record
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
