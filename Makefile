@@ -6,9 +6,9 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test smoke catalog-check report-smoke fuzz-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining bench-soak soak-smoke pipelining-smoke large-n-smoke example clean
+.PHONY: check test smoke catalog-check report-smoke fuzz-smoke search-smoke bench bench-smoke bench-scaling bench-network bench-throughput bench-big-committees bench-pipelining bench-soak soak-smoke pipelining-smoke large-n-smoke example clean
 
-check: test smoke catalog-check report-smoke
+check: test smoke catalog-check report-smoke search-smoke
 	@echo "check: OK"
 
 test:
@@ -55,6 +55,23 @@ fuzz-smoke:
 	test -f /tmp/repro-fuzz-artifacts/fuzz-0-injected.json
 	$(PYTHON) -m repro.cli run /tmp/repro-fuzz-artifacts/fuzz-0-injected.json \
 		| grep -q "trace oracle: VIOLATED"
+
+# Adversary-search gate: the seeded search property tests (marker
+# `search`) plus two bounded best-response sweeps.  pRFT and TRAP at
+# n=4 must hold the equilibrium for every rational type (exit 0),
+# while the unincentivised pBFT baseline must surface the Table 2
+# fork coalition (exit 2 = profitable deviation found, which for the
+# baseline is success).  The exported repro is oracle-checked by the
+# search command itself and must replay through `repro run`.
+search-smoke:
+	$(PYTHON) -m pytest -q -m search
+	$(PYTHON) -m repro.cli search equilibrium --protocol prft --protocol trap \
+		-n 4 --jobs 2 --artifacts /tmp/repro-search-artifacts
+	$(PYTHON) -m repro.cli search equilibrium --protocol pbft --theta 1 \
+		--jobs 2 --artifacts /tmp/repro-search-artifacts \
+		--out /tmp/repro-search.json; test $$? -eq 2
+	test -f /tmp/repro-search-artifacts/deviation-pbft-th1.json
+	$(PYTHON) -m repro.cli run /tmp/repro-search-artifacts/deviation-pbft-th1.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -47,6 +47,8 @@ CHECKER_PAPER_REFS: Dict[str, str] = {
     "collateral": "deposit conservation, Sec. 5.3.1",
     "crash-recovery": "persisted-prefix monotonicity (BAR crash class)",
     "quorum-certs": "quorum-certificate well-formedness, Fig. 2b",
+    "message-complexity": "O(n^2) per-round message envelope, Fig. 3",
+    "utility-consistency": "Eq. 1 utility vs realised payoff, Sec. 4.1",
 }
 
 
@@ -594,6 +596,132 @@ class QuorumCertificateChecker(InvariantChecker):
         return violations
 
 
+class MessageComplexityChecker(InvariantChecker):
+    """Figure 3's complexity envelope: every protocol in the catalog is
+    quadratic per round, so no single round's traffic may escape a
+    generous O(n²) cap — a fixed number of all-to-all exchanges, doubled
+    when loss or timeouts legitimately trigger retransmission, plus the
+    client submissions riding the same links.  A round outside the
+    envelope signals a message storm: an amplification bug, or an
+    adversary manufacturing traffic the analysis never priced in.
+    Works off the per-round metrics aggregator, which is lifetime-exact
+    and protocol-agnostic (view-changed and duration-driven rounds are
+    all accounted under their own round number)."""
+
+    name = "message-complexity"
+
+    #: All-to-all exchanges allowed per round.  pRFT's
+    #: propose/vote/commit/reveal/final/expose is the deepest pipeline
+    #: in the catalog (6); 8 leaves slack for certificate shipping.
+    _PHASES_CAP = 8
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        result = ctx.result
+        n = result.config.n
+        cap = self._PHASES_CAP * n * n
+        if (
+            float(getattr(ctx.scenario, "loss_rate", 0.0) or 0.0) > 0.0
+            or result.trace.count("timeout") > 0
+        ):
+            # Loss- and timeout-triggered retransmission re-counts
+            # every resend; at the oracle's 0.25 loss ceiling the
+            # expected inflation is ~1.33x, so 2x covers the tail.
+            cap *= 2
+        # Submissions are attributed to the round that carried them;
+        # one roster broadcast per transaction, doubled for resends.
+        cap += 2 * n * len(result.submitted_tx_ids)
+        violations: List[Violation] = []
+        for round_number, (count, _bytes) in sorted(result.metrics.round_totals().items()):
+            if round_number < 0:
+                # Traffic no round claims (pre-round handshakes) has no
+                # per-round envelope; the submission term above bounds
+                # the only unattributed class the simulator produces.
+                continue
+            if count > cap:
+                violations.append(_violation(
+                    self.name,
+                    "a round's traffic escapes the quadratic envelope",
+                    round=round_number, messages=count, cap=cap, n=n,
+                ))
+        return violations
+
+
+class UtilityConsistencyChecker(InvariantChecker):
+    """Equation 1 consistency: the analysis layer's realised utilities
+    must agree with the run's ground truth.  Concretely (a) the set of
+    players named by fresh ``burn`` trace events is exactly the
+    collateral registry's penalised set, each charged exactly the
+    deposit L, and (b) for every rational player the L·D penalty
+    embedded in the per-round utility stream equals that realised
+    penalty — so the utilities persisted in every RunRecord, and every
+    best-response verdict built on them, read from the same facts the
+    simulator executed."""
+
+    name = "utility-consistency"
+    # Replays burn attribution and the per-round finality timeline: an
+    # evicted burn or final event would silently shift Eq. 1's terms.
+    trace_kinds = ("burn", "final")
+
+    #: The per-round stream audit is O(rounds²) in the worst case;
+    #: above this many configured rounds only the burn/registry
+    #: reconciliation (a) runs.
+    _STREAM_AUDIT_MAX_ROUNDS = 256
+
+    def check(self, ctx: OracleContext) -> List[Violation]:
+        from repro.gametheory.empirical import classify_round, per_round_utilities
+        from repro.gametheory.payoff import payoff
+
+        result = ctx.result
+        violations: List[Violation] = []
+        accused = {
+            event.detail.get("accused")
+            for event in result.trace.events("burn")
+            if event.detail.get("fresh", True)
+        }
+        accused.discard(None)
+        penalised = result.penalised_players()
+        if accused != penalised:
+            violations.append(_violation(
+                self.name,
+                "fresh burn events and the collateral registry name different players",
+                burned_in_trace=tuple(sorted(accused)),
+                penalised=tuple(sorted(penalised)),
+            ))
+        collateral = result.ctx.collateral
+        deposit = result.config.deposit
+        for pid in sorted(penalised):
+            penalty = collateral.penalty_of(pid)
+            if penalty != deposit:
+                violations.append(_violation(
+                    self.name,
+                    "a burned player's penalty is not the deposit L",
+                    player=pid, penalty=penalty, deposit=deposit,
+                ))
+        rounds = result.config.max_rounds
+        if rounds > self._STREAM_AUDIT_MAX_ROUNDS:
+            return violations
+        censored = ctx.censored_tx_ids
+        for player in result.players:
+            if not player.is_rational:
+                continue
+            pid = player.player_id
+            stream = per_round_utilities(result, pid, player.theta, censored)
+            base = sum(
+                payoff(classify_round(result, r, censored), player.theta,
+                       result.config.alpha)
+                for r in range(rounds)
+            )
+            embedded = base - sum(stream)
+            expected = float(deposit) if pid in accused else 0.0
+            if abs(embedded - expected) > 1e-9:
+                violations.append(_violation(
+                    self.name,
+                    "the utility stream's embedded penalty disagrees with the realised burn",
+                    player=pid, embedded=embedded, expected=expected,
+                ))
+        return violations
+
+
 def default_checkers() -> List[InvariantChecker]:
     """The full checker battery, in report order."""
     return [
@@ -607,4 +735,6 @@ def default_checkers() -> List[InvariantChecker]:
         CollateralConservationChecker(),
         CrashRecoveryChecker(),
         QuorumCertificateChecker(),
+        MessageComplexityChecker(),
+        UtilityConsistencyChecker(),
     ]

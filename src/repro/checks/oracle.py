@@ -126,6 +126,18 @@ def derive_expectations(result: RunResult, scenario: Optional[Any]) -> Expectati
             reasons.append(
                 f"coalition {rational + byzantine} breaks the honest majority of {n}"
             )
+        elif rational + byzantine >= 2 * config.quorum_size - n:
+            # Fork-resilience rests on quorum intersection: at the
+            # admissible window's floor (Claim 1 trades safety margin
+            # for liveness) a coalition that can cover the 2q - n
+            # intersection finalises both sides before the rollback
+            # machinery can intervene.  At the default quorum n - t0
+            # this clause is implied by the honest-majority bound.
+            safety = False
+            reasons.append(
+                f"coalition {rational + byzantine} covers the quorum intersection "
+                f"of {2 * config.quorum_size - n} at quorum {config.quorum_size}"
+            )
     elif rational + byzantine > config.t0:
         safety = False
         reasons.append(
@@ -154,6 +166,15 @@ def derive_expectations(result: RunResult, scenario: Optional[Any]) -> Expectati
     if getattr(scenario, "attack", None) is not None:
         liveness = False
         reasons.append("an attack is configured: liveness is the attack's target")
+    gene_field = getattr(scenario, "gene", None)
+    if gene_field is not None:
+        from repro.search.space import StrategyGene
+
+        if StrategyGene.from_field(gene_field).active:
+            liveness = False
+            reasons.append(
+                "a strategy gene deviates: liveness is the deviation's target"
+            )
     if getattr(scenario, "delay", "fixed") == "asynchronous":
         liveness = False
         reasons.append("asynchronous delays are unbounded: no liveness deadline exists")

@@ -5,6 +5,8 @@ Subcommands::
     repro run <scenario|file.json> [...]  # one scenario, one run
     repro sweep <scenario> [...]          # parameter grid x seeds, parallel
     repro fuzz [...]                      # generated scenarios + oracle + shrinking
+    repro search equilibrium [...]        # best-response deviation search (Table 2)
+    repro search campaign [...]           # guided, checkpointed fuzz campaign
     repro check-catalog                   # trace oracle over every catalog entry
     repro list-scenarios                  # the registered catalog
     repro ingest [FILE...]                # load BENCH_*.json / sweep JSON / CSV
@@ -22,6 +24,10 @@ Examples::
     repro sweep lossy-honest --grid loss_rate=0,0.1 --seeds 5 --check
     repro sweep poisson-honest --grid arrival_rate=0.25,0.5,1,2 --seeds 5
     repro fuzz --budget 200 --seed 0 --jobs 8 --artifacts fuzz-artifacts
+    repro fuzz --budget 500 --guided --db warehouse.sqlite --resume
+    repro search equilibrium --protocol prft --jobs 8
+    repro search equilibrium --protocol pbft --artifacts search-artifacts
+    repro search campaign --budget 200 --db warehouse.sqlite --jobs 8
     repro check-catalog
     repro list-scenarios
     repro ingest BENCH_throughput.json results.json results.csv --db warehouse.sqlite
@@ -312,7 +318,104 @@ def build_cli_parser() -> argparse.ArgumentParser:
         help="replace trial 0 with a config that must violate the "
              "accountability invariant (self-test of the oracle+shrinker)",
     )
+    fuzz_parser.add_argument(
+        "--guided", action="store_true",
+        help="order trials by warehouse near-miss history (boundary-"
+             "pressing buckets first); trial identity is unchanged, "
+             "only the execution order moves",
+    )
+    fuzz_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its checkpointed "
+             "cursor (needs --db or REPRO_WAREHOUSE)",
+    )
+    fuzz_parser.add_argument(
+        "--campaign-id", default=None,
+        help="checkpoint key for --resume (default: derived from "
+             "seed/profile/budget)",
+    )
+    fuzz_parser.add_argument(
+        "--db", default=None,
+        help="warehouse for guided ordering, per-chunk record persistence "
+             "and cursor checkpoints (default: $REPRO_WAREHOUSE)",
+    )
+    fuzz_parser.add_argument(
+        "--checkpoint-every", type=int, default=16,
+        help="trials per checkpoint chunk when a warehouse is attached",
+    )
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    search_parser = subparsers.add_parser(
+        "search",
+        help="adversary search engine: best-response strategy iteration "
+             "over the gene space, and oracle-guided fuzz campaigns",
+    )
+    search_sub = search_parser.add_subparsers(dest="search_command", required=True)
+
+    equilibrium_parser = search_sub.add_parser(
+        "equilibrium",
+        help="per-θ best-response search (Table 2): find the most "
+             "profitable deviation per protocol and rational type; exit "
+             "2 when one beats honest play",
+    )
+    equilibrium_parser.add_argument(
+        "--protocol", action="append", default=[], choices=sorted(FACTORIES),
+        help="protocol(s) to search (repeatable; default: prft)",
+    )
+    equilibrium_parser.add_argument(
+        "--theta", action="append", type=int, default=[], choices=(1, 2, 3),
+        help="rational type(s) θ to search (repeatable; default: 1 2 3)",
+    )
+    equilibrium_parser.add_argument("-n", type=int, default=9, help="committee size")
+    equilibrium_parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeds 0..S-1 averaged per evaluated point",
+    )
+    equilibrium_parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    equilibrium_parser.add_argument(
+        "--max-iters", type=int, default=2,
+        help="coordinate-descent passes per coalition size",
+    )
+    equilibrium_parser.add_argument(
+        "--max-coalition", type=int, default=None,
+        help="cap the searched coalition size (default: the class caps)",
+    )
+    equilibrium_parser.add_argument(
+        "--artifacts", default="search-artifacts",
+        help="directory for discovered-deviation repro JSONs "
+             "(created on first profitable deviation)",
+    )
+    equilibrium_parser.add_argument(
+        "--out", default=None, help="write the full report as JSON"
+    )
+    equilibrium_parser.set_defaults(func=cmd_search_equilibrium)
+
+    search_campaign_parser = search_sub.add_parser(
+        "campaign",
+        help="near-miss-guided, checkpointed fuzz campaign "
+             "(= repro fuzz --guided with warehouse persistence)",
+    )
+    search_campaign_parser.add_argument("--budget", type=int, default=100)
+    search_campaign_parser.add_argument("--seed", type=int, default=0, help="fuzz campaign seed")
+    search_campaign_parser.add_argument(
+        "--profile", choices=("safe", "wild"), default="safe"
+    )
+    search_campaign_parser.add_argument("--jobs", type=int, default=1)
+    search_campaign_parser.add_argument(
+        "--db", default=None,
+        help="warehouse database (default: $REPRO_WAREHOUSE)",
+    )
+    search_campaign_parser.add_argument("--campaign-id", default=None)
+    search_campaign_parser.add_argument("--resume", action="store_true")
+    search_campaign_parser.add_argument("--checkpoint-every", type=int, default=16)
+    search_campaign_parser.add_argument(
+        "--artifacts", default="fuzz-artifacts",
+        help="directory for shrunk-repro JSONs",
+    )
+    search_campaign_parser.add_argument("--out", default=None)
+    search_campaign_parser.add_argument("--shrink-budget", type=int, default=64)
+    search_campaign_parser.add_argument("--max-shrinks", type=int, default=5)
+    search_campaign_parser.set_defaults(func=cmd_search_campaign)
 
     catalog_parser = subparsers.add_parser(
         "check-catalog",
@@ -743,7 +846,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.experiments.fuzz import run_fuzz, write_repro
+    from repro.experiments.fuzz import run_campaign, run_fuzz, write_repro
 
     if args.budget < 1:
         raise SystemExit("budget must be at least 1")
@@ -753,15 +856,42 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise SystemExit("shrink-budget must be non-negative")
     if args.max_shrinks < 0:
         raise SystemExit("max-shrinks must be non-negative")
-    fuzz = run_fuzz(
-        budget=args.budget,
-        fuzz_seed=args.seed,
-        profile=args.profile,
-        jobs=args.jobs,
-        inject_violation=args.inject_violation,
-        shrink_budget=args.shrink_budget,
-        max_shrinks=args.max_shrinks,
+    campaign_mode = bool(
+        getattr(args, "guided", False)
+        or getattr(args, "resume", False)
+        or getattr(args, "campaign_id", None)
+        or getattr(args, "db", None)
     )
+    if campaign_mode:
+        if getattr(args, "inject_violation", False):
+            raise SystemExit("--inject-violation is a run_fuzz self-test; "
+                             "not available in campaign mode")
+        try:
+            fuzz = run_campaign(
+                budget=args.budget,
+                fuzz_seed=args.seed,
+                profile=args.profile,
+                jobs=args.jobs,
+                guided=getattr(args, "guided", False),
+                campaign_id=getattr(args, "campaign_id", None),
+                db=getattr(args, "db", None),
+                resume=getattr(args, "resume", False),
+                shrink_budget=args.shrink_budget,
+                max_shrinks=args.max_shrinks,
+                checkpoint_every=getattr(args, "checkpoint_every", 16),
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+    else:
+        fuzz = run_fuzz(
+            budget=args.budget,
+            fuzz_seed=args.seed,
+            profile=args.profile,
+            jobs=args.jobs,
+            inject_violation=args.inject_violation,
+            shrink_budget=args.shrink_budget,
+            max_shrinks=args.max_shrinks,
+        )
     rows = [
         [checker, totals["ok"], totals["violated"], totals["skipped"]]
         for checker, totals in sorted(fuzz.checker_totals().items())
@@ -770,7 +900,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         ["invariant", "ok", "violated", "skipped"],
         rows,
         title=(
-            f"fuzz seed={args.seed} profile={args.profile}: {args.budget} trials, "
+            f"fuzz seed={args.seed} profile={args.profile}: "
+            f"{len(fuzz.trials)}/{args.budget} trials, "
             f"{fuzz.violation_count} violating, wall {fuzz.wall_time:.1f}s"
         ),
     ))
@@ -796,6 +927,87 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote fuzz report to {args.out}")
     return 2 if fuzz.violation_count else 0
+
+
+def cmd_search_equilibrium(args: argparse.Namespace) -> int:
+    from repro.search.bestresponse import search_equilibrium
+
+    if args.seeds < 1:
+        raise SystemExit("seeds must be at least 1")
+    if args.jobs < 1:
+        raise SystemExit("jobs must be at least 1")
+    if args.max_iters < 1:
+        raise SystemExit("max-iters must be at least 1")
+    protocols = list(dict.fromkeys(args.protocol)) or ["prft"]
+    thetas = tuple(dict.fromkeys(args.theta)) or (1, 2, 3)
+    try:
+        report = search_equilibrium(
+            protocols,
+            thetas=thetas,
+            n=args.n,
+            seeds=tuple(range(args.seeds)),
+            jobs=args.jobs,
+            max_iters=args.max_iters,
+            max_coalition=args.max_coalition,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(report.render())
+    profitable = report.profitable_results()
+    for result in profitable:
+        best = result.best
+        # Replay the discovered point under the trace oracle: the
+        # deviation must sit inside the oracle's expectation envelope
+        # (a profitable fork that also trips a checker is a simulator
+        # bug, not a strategic finding).
+        checked = best.scenario.with_params(check_invariants=True)
+        oracle = checked.run(seed=best.seeds[0]).oracle
+        verdict = "oracle clean" if oracle.ok else (
+            "ORACLE VIOLATION: " + ", ".join(oracle.violated_names)
+        )
+        print(
+            f"profitable deviation [{result.protocol} θ={result.theta}]: "
+            f"{best.describe()} — margin {best.margin:+.3f} ({verdict})"
+        )
+        os.makedirs(args.artifacts, exist_ok=True)
+        path = os.path.join(
+            args.artifacts, f"deviation-{result.protocol}-th{result.theta}.json"
+        )
+        with open(path, "w") as handle:
+            json.dump(best.repro_entry(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path} (replay: repro run {path})")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"wrote search report to {args.out}")
+    if not profitable:
+        print(
+            f"no profitable deviation for {', '.join(protocols)} "
+            f"(θ ∈ {sorted(thetas)}): honest play is a best response"
+        )
+    return 2 if profitable else 0
+
+
+def cmd_search_campaign(args: argparse.Namespace) -> int:
+    namespace = argparse.Namespace(
+        budget=args.budget,
+        seed=args.seed,
+        profile=args.profile,
+        jobs=args.jobs,
+        guided=True,
+        resume=args.resume,
+        campaign_id=args.campaign_id,
+        db=args.db,
+        checkpoint_every=args.checkpoint_every,
+        artifacts=args.artifacts,
+        out=args.out,
+        shrink_budget=args.shrink_budget,
+        max_shrinks=args.max_shrinks,
+        inject_violation=False,
+    )
+    return cmd_fuzz(namespace)
 
 
 def cmd_check_catalog(args: argparse.Namespace) -> int:
@@ -1031,6 +1243,11 @@ def cmd_report_campaign(args: argparse.Namespace) -> int:
     ))
     if not summary.by_checker:
         print("no stored violations — campaign clean")
+    if summary.skipped:
+        print(
+            "skipped verdicts (retention/applicability): "
+            + ", ".join(f"{checker}:{count}" for checker, count in summary.skipped)
+        )
     return 0
 
 
@@ -1040,7 +1257,7 @@ def cmd_report_campaign(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     subcommands = (
-        "run", "sweep", "fuzz", "check-catalog", "list-scenarios",
+        "run", "sweep", "fuzz", "search", "check-catalog", "list-scenarios",
         "ingest", "report",
     )
     legacy = (

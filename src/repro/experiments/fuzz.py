@@ -46,6 +46,7 @@ from repro.experiments.registry import PROTOCOL_FACTORIES, Scenario
 from repro.experiments.results import RunRecord
 from repro.experiments.sweep import _pool_context
 from repro.protocols.base import ProtocolConfig
+from repro.search.space import StrategyGene, draw_gene
 
 PROFILES = ("safe", "wild")
 
@@ -228,6 +229,16 @@ def _draw_axes(rng: random.Random, profile: str) -> Dict[str, Any]:
         fields["max_block_txs"] = rng.choice((8, 16, 32))
     if fields.get("workload") == "poisson" and rng.random() < 0.3:
         fields["coalesce_window"] = round(rng.uniform(0.2, 1.5), 2)
+    # The strategy-gene axis rides at the very end of the stream so
+    # every pre-existing trial replays with identical axes.  Only
+    # rosters with rational players can host a coalition, and forking
+    # genes are dropped over the forgeable backend — they would trip
+    # the accountability checker by construction, exactly the
+    # ``--inject-violation`` scenario, not a found bug.
+    if rational and rng.random() < 0.25:
+        gene = draw_gene(rng, profile, rational)
+        if not (gene.forks and fields.get("crypto_backend") == "fast-sim"):
+            fields["gene"] = gene.as_field()
     return fields
 
 
@@ -260,6 +271,8 @@ def run_trial(trial: FuzzTrial) -> RunRecord:
         suppressed_run_autopersist,
     )
 
+    from repro.search.score import with_near_miss
+
     start = time.perf_counter()
     with suppressed_run_autopersist():
         result = trial.scenario.run(seed=trial.seed)
@@ -267,6 +280,11 @@ def run_trial(trial: FuzzTrial) -> RunRecord:
     record = RunRecord.from_result(
         trial.scenario, seed=trial.seed, result=result, wall_time=elapsed
     )
+    # The continuous near-miss score rides on every fuzz record: runs
+    # that pressed the failure boundary without crossing it (burns,
+    # exposure events, timeout storms, deep reorgs) rank future guided
+    # campaigns toward their neighbourhood.
+    record = with_near_miss(record, result)
     # Opt-in warehouse mirror (REPRO_WAREHOUSE): a ≥10⁴-trial campaign
     # becomes resumable and triagable — every trial's verdicts land as
     # it finishes, queryable via `repro report campaign`.
@@ -387,6 +405,155 @@ def run_fuzz(
 
 
 # ----------------------------------------------------------------------
+# Campaigns: guided ordering + resumable checkpoints
+# ----------------------------------------------------------------------
+def default_campaign_id(fuzz_seed: int, profile: str, budget: int, guided: bool) -> str:
+    tag = "guided" if guided else "linear"
+    return f"fuzz-{fuzz_seed}-{profile}-{budget}-{tag}"
+
+
+def campaign_order(
+    trials: Sequence[FuzzTrial], guided: bool, db_path: Optional[str] = None
+) -> List[int]:
+    """The execution order of a campaign's trial indices.
+
+    Unguided campaigns run in index order.  Guided campaigns rank each
+    trial by the warehouse's mean near-miss score for its
+    (protocol, attack-bucket) — history of runs that pressed the
+    failure boundary pulls their neighbourhood forward — falling back
+    to the static :func:`repro.search.score.priority_hint` for buckets
+    with no history.  Ties (and the no-warehouse case) break by index,
+    so the order is deterministic for a given database state.  Trial
+    *identity* never changes: ``(fuzz_seed, index)`` still names the
+    same scenario, only the execution order moves.
+    """
+    if not guided:
+        return list(range(len(trials)))
+    from repro.search.score import bucket_of, priority_hint
+
+    buckets: Dict[Tuple[str, str], Tuple[float, int]] = {}
+    if db_path:
+        from repro.experiments.warehouse import Warehouse
+
+        try:
+            with Warehouse(db_path) as store:
+                buckets = store.near_miss_buckets()
+        except Exception:
+            buckets = {}
+
+    def priority(trial: FuzzTrial) -> float:
+        key = bucket_of(trial.scenario)
+        if key in buckets:
+            return buckets[key][0]
+        return priority_hint(trial.scenario)
+
+    return sorted(
+        range(len(trials)), key=lambda i: (-priority(trials[i]), i)
+    )
+
+
+def run_campaign(
+    budget: int,
+    fuzz_seed: int = 0,
+    profile: str = "safe",
+    jobs: int = 1,
+    guided: bool = False,
+    campaign_id: Optional[str] = None,
+    db: Optional[str] = None,
+    resume: bool = False,
+    shrink_budget: int = 64,
+    max_shrinks: int = 5,
+    checkpoint_every: int = 16,
+) -> FuzzResult:
+    """A fuzz campaign with optional guided ordering and checkpointing.
+
+    With a warehouse (explicit ``db`` or ``REPRO_WAREHOUSE``), the
+    campaign saves its trial cursor every ``checkpoint_every`` trials
+    under ``campaign_id``; ``resume=True`` picks up an interrupted
+    campaign from its stored cursor *and stored order* (so resumption
+    is exact even if the near-miss statistics have since moved).  The
+    result covers the trials executed by this call, in execution
+    order.
+    """
+    if budget < 1:
+        raise ValueError("budget must be at least 1")
+    from repro.experiments.warehouse import Warehouse, auto_db_path
+
+    db_path = db or auto_db_path()
+    cid = campaign_id or default_campaign_id(fuzz_seed, profile, budget, guided)
+    started = time.perf_counter()
+    trials = [generate_trial(fuzz_seed, index, profile) for index in range(budget)]
+    order: List[int] = []
+    start_at = 0
+    if resume:
+        if db_path is None:
+            raise ValueError("--resume needs a warehouse (--db or REPRO_WAREHOUSE)")
+        with Warehouse(db_path) as store:
+            checkpoint = store.load_cursor(cid)
+        if checkpoint is not None:
+            if (
+                checkpoint.fuzz_seed != fuzz_seed
+                or checkpoint.profile != profile
+                or checkpoint.budget != budget
+            ):
+                raise ValueError(
+                    f"campaign {cid!r} was checkpointed with"
+                    f" seed={checkpoint.fuzz_seed} profile={checkpoint.profile!r}"
+                    f" budget={checkpoint.budget}; refusing to resume with"
+                    f" different parameters"
+                )
+            order = list(checkpoint.order)
+            start_at = checkpoint.cursor
+    if not order:
+        order = campaign_order(trials, guided, db_path)
+    pending = order[start_at:]
+
+    def checkpoint_at(position: int, chunk_records: Sequence[RunRecord]) -> None:
+        """Land the chunk's records *and* the cursor together, so a
+        resumed campaign never re-runs trials whose results were kept
+        nor skips trials whose results were lost."""
+        if db_path is None:
+            return
+        with Warehouse(db_path) as store:
+            store.ingest_records(chunk_records, source=f"campaign:{cid}")
+            store.save_cursor(cid, fuzz_seed, profile, budget, position, order)
+
+    ordered_trials = [trials[index] for index in pending]
+    records: List[RunRecord] = []
+    step = max(1, checkpoint_every)
+    pool_cm = (
+        _pool_context().Pool(processes=min(jobs, max(1, len(ordered_trials))))
+        if jobs > 1 and len(ordered_trials) > 1
+        else None
+    )
+    try:
+        for chunk_start in range(0, len(ordered_trials), step):
+            chunk = ordered_trials[chunk_start : chunk_start + step]
+            if pool_cm is None:
+                chunk_records = [run_trial(trial) for trial in chunk]
+            else:
+                chunk_records = pool_cm.map(run_trial, chunk, 1)
+            records.extend(chunk_records)
+            checkpoint_at(start_at + chunk_start + len(chunk), chunk_records)
+    finally:
+        if pool_cm is not None:
+            pool_cm.terminate()
+            pool_cm.join()
+    checkpoint_at(len(order), ())
+    result = FuzzResult(
+        fuzz_seed=fuzz_seed, budget=budget, profile=profile,
+        trials=ordered_trials, records=records,
+    )
+    for trial, record in result.violating[:max_shrinks]:
+        result.shrunk.append(shrink(
+            trial.scenario, trial.seed,
+            target=record.invariant_violations, budget=shrink_budget,
+        ))
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
 # Shrinking
 # ----------------------------------------------------------------------
 def violated_checkers(scenario: Scenario, seed: int) -> Tuple[str, ...]:
@@ -410,6 +577,12 @@ def _shrink_candidates(scenario: Scenario) -> List[Dict[str, Any]]:
         moves.append({"crash_spec": ()})
     if scenario.partition_windows:
         moves.append({"partition_windows": (), "partition_groups": ()})
+    if scenario.gene:
+        gene = StrategyGene.from_field(scenario.gene)
+        moves.extend(
+            {"gene": shrunk.as_field() if shrunk.active else None}
+            for shrunk in gene.shrink_moves()
+        )
     if scenario.delay != "fixed":
         moves.append({"delay": "fixed", "gst": 0.0})
     if scenario.quorum is not None:

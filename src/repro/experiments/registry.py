@@ -244,6 +244,13 @@ class Scenario:
     backlog_resolution: Optional[int] = None
     check_invariants: bool = False
     allow_unsound_crypto: bool = False
+    #: Searched-deviation axis: a StrategyGene in its as_field()
+    #: encoding (sorted (knob, value) pairs).  None — the default, so
+    #: every historical serialisation is unchanged — means no gene;
+    #: otherwise the first `coalition` rational players run the
+    #: compiled strategy (applied after `attack`, overriding it for
+    #: the coalition members).
+    gene: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     #: committee-size ceiling: the largest n any benchmark exercises.
     MAX_N = 256
@@ -265,6 +272,27 @@ class Scenario:
                 f"unknown crypto backend {self.crypto_backend!r}; "
                 f"choose from {backend_names()}"
             )
+        if self.gene is not None:
+            object.__setattr__(
+                self, "gene",
+                tuple(
+                    (str(key), tuple(value) if isinstance(value, (list, tuple)) else value)
+                    for key, value in self.gene
+                ),
+            )
+            # Compile-check the knobs now so a bad gene fails at
+            # construction time with the space's own message.
+            from repro.search.space import StrategyGene
+
+            if StrategyGene.from_field(self.gene).forks and (
+                not get_backend(self.crypto_backend).unforgeable
+                and not self.allow_unsound_crypto
+            ):
+                raise ValueError(
+                    f"scenario {self.name!r} carries a forking gene (equivocate > 0), "
+                    f"which exercises accountability and needs an unforgeable backend; "
+                    f"{self.crypto_backend!r} is forgeable"
+                )
         if (
             self.attack == "fork"
             and not get_backend(self.crypto_backend).unforgeable
@@ -417,6 +445,12 @@ class Scenario:
                 self.attack,
                 censored_tx_ids=list(self.censored_tx_ids) or None,
             )
+        if self.gene is not None:
+            from repro.search.space import StrategyGene
+
+            compiled = StrategyGene.from_field(self.gene).compile(self.n, rationals)
+            for pid, strategy in compiled.items():
+                players[pid].strategy = strategy
         return players
 
     def build_collusion(self, players: Sequence[Player]) -> Collusion:

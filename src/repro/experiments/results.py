@@ -58,6 +58,12 @@ class RunRecord:
     # (and the golden byte-identity gates) are unchanged.
     invariants: Optional[Tuple[Tuple[str, str], ...]] = None
     invariant_violations: Tuple[str, ...] = ()
+    # Per-checker skip reasons ((checker, reason) pairs) for checkers
+    # that did not evaluate — retention eviction, applicability
+    # envelope — so campaign triage can distinguish "passed" from "not
+    # evaluated".  Empty when nothing was skipped; serialisers omit
+    # the field entirely then, keeping historical bytes.
+    invariant_notes: Tuple[Tuple[str, str], ...] = ()
     # Throughput projection: the flat scalars of the run's
     # ThroughputReport, populated only for continuous-workload runs.
     # None (vs empty) distinguishes "no report" from "report of zeros";
@@ -65,6 +71,12 @@ class RunRecord:
     # legacy fixed-slot records (and the golden byte-identity gates)
     # are unchanged.
     throughput: Optional[Tuple[Tuple[str, float], ...]] = None
+    # Near-miss projection (repro.search.score): bounded pressure
+    # signals plus the combined scalar under the key "score".  Only
+    # campaign paths attach it (via score.with_near_miss); None keeps
+    # every historical serialisation — including the 13 golden
+    # records — byte-identical.
+    near_miss: Optional[Tuple[Tuple[str, float], ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +95,7 @@ class RunRecord:
         verdict = check_robustness(result, censored_tx_ids=censored)
         invariants: Optional[Tuple[Tuple[str, str], ...]] = None
         invariant_violations: Tuple[str, ...] = ()
+        invariant_notes: Tuple[Tuple[str, str], ...] = ()
         if getattr(scenario, "check_invariants", False):
             report = result.oracle
             if report is None:
@@ -93,6 +106,11 @@ class RunRecord:
             # exactly through the sort_keys=True JSON writer.
             invariants = tuple(sorted(report.as_items()))
             invariant_violations = tuple(sorted(report.violated_names))
+            invariant_notes = tuple(sorted(
+                (verdict.name, verdict.note)
+                for verdict in report.verdicts
+                if verdict.status == "skipped" and verdict.note
+            ))
         throughput: Optional[Tuple[Tuple[str, float], ...]] = None
         if result.throughput is not None:
             entries: Dict[str, Any] = dict(result.throughput.summary())
@@ -131,6 +149,7 @@ class RunRecord:
             wall_time=wall_time,
             invariants=invariants,
             invariant_violations=invariant_violations,
+            invariant_notes=invariant_notes,
             throughput=throughput,
         )
 
@@ -150,15 +169,28 @@ class RunRecord:
             # output (and the golden byte-identity gates) is unchanged.
             del data["invariants"]
             del data["invariant_violations"]
+            del data["invariant_notes"]
         else:
             data["invariants"] = dict(self.invariants)
             data["invariant_violations"] = list(self.invariant_violations)
+            if self.invariant_notes:
+                data["invariant_notes"] = dict(self.invariant_notes)
+            else:
+                # Nothing skipped: omit, so records from before the
+                # skip-reason fix keep their exact bytes.
+                del data["invariant_notes"]
         if self.throughput is None:
             # Legacy fixed-slot run: no report, and no key, so golden
             # byte-identity is preserved.
             del data["throughput"]
         else:
             data["throughput"] = dict(self.throughput)
+        if self.near_miss is None:
+            # Not a campaign run: no key, so golden byte-identity is
+            # preserved.
+            del data["near_miss"]
+        else:
+            data["near_miss"] = dict(self.near_miss)
         if not include_timing:
             del data["wall_time"]
         return data
@@ -177,6 +209,9 @@ class RunRecord:
         else:
             kwargs["invariants"] = None
         kwargs["invariant_violations"] = tuple(data.get("invariant_violations", ()))
+        kwargs["invariant_notes"] = tuple(
+            sorted(dict(data.get("invariant_notes", {}) or {}).items())
+        )
         if "throughput" in data and data["throughput"] is not None:
             entries = []
             for name, value in dict(data["throughput"]).items():
@@ -188,6 +223,10 @@ class RunRecord:
             kwargs["throughput"] = tuple(sorted(entries))
         else:
             kwargs["throughput"] = None
+        if "near_miss" in data and data["near_miss"] is not None:
+            kwargs["near_miss"] = tuple(sorted(dict(data["near_miss"]).items()))
+        else:
+            kwargs["near_miss"] = None
         kwargs.setdefault("wall_time", 0.0)
         return cls(**kwargs)
 
@@ -256,11 +295,16 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
     axes = sorted({key for record in records for key, _ in record.params})
     with_oracle = any(record.invariants is not None for record in records)
     with_throughput = any(record.throughput is not None for record in records)
+    with_near_miss = any(record.near_miss is not None for record in records)
     headers = list(_CSV_FIELDS) + [f"param:{axis}" for axis in axes]
     if with_oracle:
         headers += ["invariants", "invariant_violations"]
     if with_throughput:
         headers.append("throughput")
+    if with_near_miss:
+        # Same omitted-when-absent contract as the oracle/throughput
+        # columns: score-free sweeps keep their historical bytes.
+        headers.append("near_miss")
     if include_timing:
         headers.append("wall_time")
     with open(path, "w", newline="") as handle:
@@ -286,6 +330,13 @@ def write_csv(path: str, records: Sequence[RunRecord], include_timing: bool = Fa
                         f"{name}={value}"
                         for name, value in record.throughput or ()
                         if name != "backlog_series"
+                    )
+                )
+            if with_near_miss:
+                row.append(
+                    ";".join(
+                        f"{name}={value}"
+                        for name, value in record.near_miss or ()
                     )
                 )
             if include_timing:
@@ -364,6 +415,13 @@ def read_csv(path: str) -> List[RunRecord]:
                     name: _csv_scalar(value)
                     for name, value in (
                         pair.split("=", 1) for pair in row["throughput"].split(";")
+                    )
+                }
+            if row.get("near_miss"):
+                data["near_miss"] = {
+                    name: float(value)
+                    for name, value in (
+                        pair.split("=", 1) for pair in row["near_miss"].split(";")
                     )
                 }
             if row.get("wall_time"):
@@ -448,5 +506,15 @@ def aggregate(records: Sequence[RunRecord]) -> List[Dict[str, Any]]:
             backlogs = [t["peak_backlog"] for t in reports if "peak_backlog" in t]
             if backlogs:
                 summary["max_peak_backlog"] = max(backlogs)
+        scores = [
+            dict(record.near_miss)["score"]
+            for record in group
+            if record.near_miss is not None and "score" in dict(record.near_miss)
+        ]
+        if scores:
+            # Near-miss keys appear only for scored groups (search and
+            # fuzz campaigns); classic sweeps keep their output bytes.
+            summary["mean_near_miss"] = mean(scores)
+            summary["max_near_miss"] = max(scores)
         summaries.append(summary)
     return summaries

@@ -108,6 +108,7 @@ CREATE TABLE IF NOT EXISTS runs (
     blocks_per_sec         REAL,
     latency_p99            REAL,
     peak_backlog           REAL,
+    near_miss              REAL,               -- boundary score, NULL = unscored
     oracle_checked         INTEGER NOT NULL,
     violation_count        INTEGER NOT NULL,
     wall_time              REAL NOT NULL DEFAULT 0.0,
@@ -126,9 +127,20 @@ CREATE INDEX IF NOT EXISTS idx_run_params_axis ON run_params(axis);
 CREATE TABLE IF NOT EXISTS run_violations (
     run_id  INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
     checker TEXT NOT NULL,
+    status  TEXT NOT NULL DEFAULT 'violated', -- 'violated' | 'skipped'
+    reason  TEXT,                             -- skip note, NULL when violated
     PRIMARY KEY (run_id, checker)
 );
 CREATE INDEX IF NOT EXISTS idx_run_violations ON run_violations(checker);
+CREATE TABLE IF NOT EXISTS campaign_cursors (
+    campaign_id TEXT PRIMARY KEY,
+    fuzz_seed   INTEGER NOT NULL,
+    profile     TEXT NOT NULL,
+    budget      INTEGER NOT NULL,
+    cursor      INTEGER NOT NULL,
+    order_json  TEXT NOT NULL,
+    updated_at  TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS bench_entries (
     id          INTEGER PRIMARY KEY,
     fingerprint TEXT NOT NULL UNIQUE,
@@ -236,6 +248,7 @@ class AxisAggregate:
     mean_messages: float
     mean_blocks_per_sec: Optional[float]
     violating_runs: int
+    mean_near_miss: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -256,6 +269,25 @@ class CampaignSummary:
     checked_runs: int
     violating_runs: int
     by_checker: Tuple[ViolationGroup, ...] = field(default_factory=tuple)
+    skipped: Tuple[Tuple[str, int], ...] = ()
+    """Per-checker counts of skipped (retention/applicability) verdicts."""
+
+
+@dataclass(frozen=True)
+class CampaignCursor:
+    """A resumable fuzz/search campaign's position in its trial order."""
+
+    campaign_id: str
+    fuzz_seed: int
+    profile: str
+    budget: int
+    cursor: int  # trials completed (an index into ``order``)
+    order: Tuple[int, ...]  # trial indices in execution order
+    updated_at: str
+
+    @property
+    def finished(self) -> bool:
+        return self.cursor >= len(self.order)
 
 
 # ----------------------------------------------------------------------
@@ -271,12 +303,39 @@ class Warehouse:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA busy_timeout = 30000")
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._migrate()
         with self._conn:
             self._conn.executescript(_SCHEMA)
             self._conn.execute(
                 "INSERT OR IGNORE INTO warehouse_meta(key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)),
             )
+
+    def _migrate(self) -> None:
+        """Additive column migrations for databases created before the
+        near-miss/skip-status columns existed (new tables come from the
+        IF NOT EXISTS statements in the schema itself)."""
+
+        def columns(table: str) -> set:
+            return {
+                row[1]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+
+        with self._conn:
+            run_cols = columns("runs")
+            if run_cols and "near_miss" not in run_cols:
+                self._conn.execute("ALTER TABLE runs ADD COLUMN near_miss REAL")
+            violation_cols = columns("run_violations")
+            if violation_cols and "status" not in violation_cols:
+                self._conn.execute(
+                    "ALTER TABLE run_violations ADD COLUMN status TEXT"
+                    " NOT NULL DEFAULT 'violated'"
+                )
+            if violation_cols and "reason" not in violation_cols:
+                self._conn.execute(
+                    "ALTER TABLE run_violations ADD COLUMN reason TEXT"
+                )
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -307,10 +366,10 @@ class Warehouse:
                         state, robust, agreement, strict_ordering, validity,
                         eventual_liveness, censorship_resistance, progressed,
                         final_blocks, total_messages, total_bytes, events,
-                        blocks_per_sec, latency_p99, peak_backlog,
+                        blocks_per_sec, latency_p99, peak_backlog, near_miss,
                         oracle_checked, violation_count, wall_time,
                         record_json, source, ingested_at
-                    ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)
+                    ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)
                     """,
                     (
                         fingerprint,
@@ -335,6 +394,9 @@ class Warehouse:
                         throughput.get("blocks_per_sec"),
                         throughput.get("latency_p99"),
                         throughput.get("peak_backlog"),
+                        None
+                        if record.near_miss is None
+                        else dict(record.near_miss).get("score"),
                         int(record.invariants is not None),
                         len(record.invariant_violations),
                         record.wall_time,
@@ -355,9 +417,16 @@ class Warehouse:
                     )
                 for checker in record.invariant_violations:
                     self._conn.execute(
-                        "INSERT OR IGNORE INTO run_violations(run_id, checker)"
-                        " VALUES (?,?)",
+                        "INSERT OR IGNORE INTO run_violations"
+                        "(run_id, checker, status) VALUES (?,?,'violated')",
                         (run_id, checker),
+                    )
+                for checker, reason in record.invariant_notes:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO run_violations"
+                        "(run_id, checker, status, reason)"
+                        " VALUES (?,?,'skipped',?)",
+                        (run_id, checker, reason),
                     )
         return added
 
@@ -483,7 +552,8 @@ class Warehouse:
                    AVG(r.final_blocks) AS mean_final_blocks,
                    AVG(r.total_messages) AS mean_messages,
                    AVG(r.blocks_per_sec) AS mean_blocks_per_sec,
-                   SUM(r.violation_count > 0) AS violating_runs
+                   SUM(r.violation_count > 0) AS violating_runs,
+                   AVG(r.near_miss) AS mean_near_miss
             FROM run_params p JOIN runs r ON r.id = p.run_id
             WHERE p.axis = ?
             GROUP BY p.value_json
@@ -500,6 +570,7 @@ class Warehouse:
                 mean_messages=row["mean_messages"],
                 mean_blocks_per_sec=row["mean_blocks_per_sec"],
                 violating_runs=row["violating_runs"],
+                mean_near_miss=row["mean_near_miss"],
             )
             for row in rows
         ]
@@ -514,13 +585,15 @@ class Warehouse:
         groups: List[ViolationGroup] = []
         for row in self._conn.execute(
             "SELECT checker, COUNT(*) AS runs FROM run_violations"
+            " WHERE status = 'violated'"
             " GROUP BY checker ORDER BY runs DESC, checker"
         ):
             sample = self._conn.execute(
                 """
                 SELECT r.scenario, r.seed FROM run_violations v
                 JOIN runs r ON r.id = v.run_id
-                WHERE v.checker = ? ORDER BY r.id LIMIT ?
+                WHERE v.checker = ? AND v.status = 'violated'
+                ORDER BY r.id LIMIT ?
                 """,
                 (row["checker"], examples),
             ).fetchall()
@@ -528,7 +601,8 @@ class Warehouse:
                 """
                 SELECT DISTINCT r.scenario FROM run_violations v
                 JOIN runs r ON r.id = v.run_id
-                WHERE v.checker = ? ORDER BY r.scenario
+                WHERE v.checker = ? AND v.status = 'violated'
+                ORDER BY r.scenario
                 """,
                 (row["checker"],),
             ).fetchall()
@@ -540,12 +614,96 @@ class Warehouse:
                     examples=tuple((s["scenario"], s["seed"]) for s in sample),
                 )
             )
+        skipped = tuple(
+            (row["checker"], row["runs"])
+            for row in self._conn.execute(
+                "SELECT checker, COUNT(*) AS runs FROM run_violations"
+                " WHERE status = 'skipped'"
+                " GROUP BY checker ORDER BY runs DESC, checker"
+            )
+        )
         return CampaignSummary(
             total_runs=total,
             checked_runs=checked,
             violating_runs=violating,
             by_checker=tuple(groups),
+            skipped=skipped,
         )
+
+    def near_miss_buckets(self) -> Dict[Tuple[str, str], Tuple[float, int]]:
+        """Mean near-miss score and count per (protocol, bucket), where
+        the bucket is ``"gene"`` for search/fuzz gene runs, the attack
+        axis value for classic adversarial runs, else ``"none"`` — the
+        same keying as :func:`repro.search.score.bucket_of`, so guided
+        campaign ordering can look scenarios up directly."""
+        sums: Dict[Tuple[str, str], List[float]] = {}
+        for row in self._conn.execute(
+            "SELECT protocol, params_json, near_miss FROM runs"
+            " WHERE near_miss IS NOT NULL"
+        ):
+            params = json.loads(row["params_json"])
+            if params.get("gene"):
+                bucket = "gene"
+            else:
+                bucket = str(params.get("attack") or "none")
+            sums.setdefault((row["protocol"], bucket), []).append(
+                row["near_miss"]
+            )
+        return {
+            key: (sum(values) / len(values), len(values))
+            for key, values in sums.items()
+        }
+
+    # -- campaign checkpoints ------------------------------------------
+    def save_cursor(
+        self,
+        campaign_id: str,
+        fuzz_seed: int,
+        profile: str,
+        budget: int,
+        cursor: int,
+        order: Sequence[int],
+    ) -> None:
+        """Checkpoint a campaign's position (upsert by campaign id)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO campaign_cursors"
+                "(campaign_id, fuzz_seed, profile, budget, cursor,"
+                " order_json, updated_at) VALUES (?,?,?,?,?,?,?)",
+                (
+                    campaign_id,
+                    fuzz_seed,
+                    profile,
+                    budget,
+                    cursor,
+                    json.dumps(list(order)),
+                    _utcnow(),
+                ),
+            )
+
+    def load_cursor(self, campaign_id: str) -> Optional[CampaignCursor]:
+        row = self._conn.execute(
+            "SELECT * FROM campaign_cursors WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return CampaignCursor(
+            campaign_id=row["campaign_id"],
+            fuzz_seed=row["fuzz_seed"],
+            profile=row["profile"],
+            budget=row["budget"],
+            cursor=row["cursor"],
+            order=tuple(json.loads(row["order_json"])),
+            updated_at=row["updated_at"],
+        )
+
+    def clear_cursor(self, campaign_id: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM campaign_cursors WHERE campaign_id = ?",
+                (campaign_id,),
+            )
 
     # -- queries: bench trajectories -----------------------------------
     def metrics(self, bench: Optional[str] = None) -> List[str]:

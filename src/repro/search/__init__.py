@@ -1,0 +1,35 @@
+"""Adversary search: discovered deviations instead of curated ones.
+
+The paper's central claims (Theorems 4-5, Table 2) are statements
+about *equilibria* — no rational type θ has a profitable deviation
+from honest play under pRFT, while the unaccountable baselines leave
+profitable deviations on the table.  The catalog reproduces those
+claims at hand-picked strategy points; this package searches for
+counterexamples instead:
+
+- :mod:`repro.search.space` — a frozen, JSON-round-trippable
+  :class:`StrategyGene` whose knobs (equivocation probability,
+  selective silence, vote withholding, timing skew, coalition size,
+  censorship targets) compile to a concrete strategy over the same
+  hooks as :mod:`repro.agents.strategies`.
+- :mod:`repro.search.bestresponse` — per-θ coordinate descent over
+  the gene space (plus the adversary's scheduling coordinates),
+  evaluated on the multiprocessing sweep engine, emitting a
+  Table 2-style empirical robustness report.
+- :mod:`repro.search.score` — a continuous near-miss score over run
+  traces (burns, exposures, view-change storms, rollback pressure,
+  height divergence) that the warehouse persists so guided campaigns
+  prioritise trials near the failure boundary.
+"""
+
+from repro.search.space import GeneStrategy, StrategyGene, draw_gene
+from repro.search.score import near_miss_components, near_miss_score, with_near_miss
+
+__all__ = [
+    "GeneStrategy",
+    "StrategyGene",
+    "draw_gene",
+    "near_miss_components",
+    "near_miss_score",
+    "with_near_miss",
+]

@@ -1,0 +1,368 @@
+"""The parameterised deviation space: ``StrategyGene`` and its compiler.
+
+A gene is a frozen point in a small space of per-phase deviation
+knobs.  Compiling a gene yields a :class:`GeneStrategy` — an ordinary
+strategy over the Section 4.1.2 hooks (``participates``,
+``plan_broadcast``, ``select_transactions``, ``report_fraud``,
+``filter_evidence``, ``double_votes``) — so every point the search
+visits is executable by the unmodified protocol machinery and, via
+the ``gene`` scenario axis, replayable from a JSON repro.
+
+Determinism: probabilistic knobs never touch the engine RNG.  Each
+decision hashes a stable key (knob, round, player...) through SHA-256
+into a unit uniform, so a gene's behaviour is a pure function of the
+gene and the run — byte-identical across processes and ``--jobs``
+splits, and insensitive to event interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.agents.strategies import EquivocateStrategy, Strategy
+
+#: Canonical phase classes the silence knob selects over.  Protocol
+#: phase strings are mapped onto these (pbft's "pbft-preprepare" is a
+#: "propose", hotstuff's "precommit" a "commit", ...).
+PHASE_CLASSES = (
+    "propose",
+    "vote",
+    "commit",
+    "reveal",
+    "final",
+    "expose",
+    "view-change",
+)
+
+_PROBABILITY_KNOBS = ("equivocate", "withhold", "timing_skew")
+
+
+def phase_class(phase: str) -> str:
+    """Map a protocol-specific phase string onto a canonical class."""
+    p = phase.lower()
+    if "preprepare" in p or "propose" in p:
+        return "propose"
+    if "view" in p:
+        return "view-change"
+    if "prepare" in p or "vote" in p:
+        return "vote"
+    if "commit" in p:
+        return "commit"
+    if "reveal" in p:
+        return "reveal"
+    if "final" in p:
+        return "final"
+    if "expose" in p:
+        return "expose"
+    return p
+
+
+def _unit(*key: Any) -> float:
+    """Deterministic uniform in [0, 1) from a stable key."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class StrategyGene:
+    """A point in the deviation space.
+
+    All knobs default to honest play; ``StrategyGene()`` compiles to a
+    strategy that behaves exactly like π_0.
+
+    equivocate: per-round probability of splitting a broadcast into
+        conflicting sides (π_ds intensity; 1.0 is the curated
+        equivocation attack).  Any positive value also makes the
+        player willing to double-sign, so accountability ground truth
+        (``double_votes``) stays sound.
+    silence: phase classes (see :data:`PHASE_CLASSES`) in which the
+        player abstains entirely — selective π_abs.
+    withhold: fraction of non-colluding recipients each broadcast is
+        withheld from (vote-withholding threshold: starves quorum
+        margins without full abstention).
+    timing_skew: per-broadcast probability that the message is
+        delayed past usefulness — modelled, in a phase-discrete
+        simulator, as the broadcast silently not happening.
+    coalition: how many of the scenario's rational players adopt this
+        gene (the first ``coalition`` ids of the rational roster, in
+        sorted order).  Colluders share one equivocation blackboard
+        and are never victims of each other's deviations.
+    censor: transaction ids the player drops from its own proposals
+        when leading (the π_pc payload knob).
+    suppress_fraud: never report fraud and strip colluders' evidence
+        from view-change justifications (π_ds's cover-up behaviour).
+    """
+
+    equivocate: float = 0.0
+    silence: Tuple[str, ...] = ()
+    withhold: float = 0.0
+    timing_skew: float = 0.0
+    coalition: int = 1
+    censor: Tuple[str, ...] = ()
+    suppress_fraud: bool = False
+
+    def __post_init__(self) -> None:
+        for knob in _PROBABILITY_KNOBS:
+            value = getattr(self, knob)
+            if not isinstance(value, (int, float)) or not 0.0 <= float(value) <= 1.0:
+                raise ValueError(f"gene knob {knob!r} must lie in [0, 1]; got {value!r}")
+            object.__setattr__(self, knob, float(value))
+        object.__setattr__(self, "silence", tuple(str(s) for s in self.silence))
+        for s in self.silence:
+            if s not in PHASE_CLASSES:
+                raise ValueError(
+                    f"gene silence phase {s!r} unknown; choose from {PHASE_CLASSES}"
+                )
+        if not isinstance(self.coalition, int) or self.coalition < 1:
+            raise ValueError(f"gene coalition must be a positive int; got {self.coalition!r}")
+        object.__setattr__(self, "censor", tuple(str(t) for t in self.censor))
+        object.__setattr__(self, "suppress_fraud", bool(self.suppress_fraud))
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when any behavioural knob deviates from honest play."""
+        return bool(
+            self.equivocate > 0.0
+            or self.silence
+            or self.withhold > 0.0
+            or self.timing_skew > 0.0
+            or self.censor
+            or self.suppress_fraud
+        )
+
+    @property
+    def forks(self) -> bool:
+        """True when the gene can produce conflicting signatures."""
+        return self.equivocate > 0.0
+
+    # ------------------------------------------------------------------
+    # Serialisation — the non-default-only projection Scenario uses
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value == spec.default:
+                continue
+            data[spec.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StrategyGene":
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown gene knobs: {sorted(unknown)}")
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        return cls(**kwargs)
+
+    def as_field(self) -> Tuple[Tuple[str, Any], ...]:
+        """The scenario-axis encoding: a sorted tuple of (knob, value)."""
+        return tuple(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in sorted(self.to_dict().items())
+        )
+
+    @classmethod
+    def from_field(cls, field: Optional[Sequence[Sequence[Any]]]) -> "StrategyGene":
+        if field is None:
+            return cls()
+        return cls.from_dict({str(key): value for key, value in field})
+
+    # ------------------------------------------------------------------
+    # Shrinking — one-knob steps toward honest play, simplest first
+    # ------------------------------------------------------------------
+    def shrink_moves(self) -> List["StrategyGene"]:
+        """Genes one step closer to the default, for the fuzz shrinker."""
+        moves: List[StrategyGene] = []
+        if self.suppress_fraud:
+            moves.append(replace(self, suppress_fraud=False))
+        if self.timing_skew > 0.0:
+            moves.append(replace(self, timing_skew=0.0))
+        if self.withhold > 0.0:
+            moves.append(replace(self, withhold=0.0))
+        if self.censor:
+            moves.append(replace(self, censor=self.censor[:-1]))
+        if self.silence:
+            moves.append(replace(self, silence=self.silence[:-1]))
+        if self.equivocate > 0.0:
+            moves.append(replace(self, equivocate=0.0))
+        if self.coalition > 1:
+            moves.append(replace(self, coalition=1))
+        return moves
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def members(self, rational_ids: Sequence[int]) -> Tuple[int, ...]:
+        """The rational ids that adopt this gene."""
+        ordered = tuple(sorted(rational_ids))
+        return ordered[: min(self.coalition, len(ordered))]
+
+    def compile(self, n: int, rational_ids: Sequence[int]) -> Dict[int, "GeneStrategy"]:
+        """One strategy instance per coalition member, sharing state."""
+        members = self.members(rational_ids)
+        if not members:
+            return {}
+        colluders = set(members)
+        group_a, group_b = victim_split(n, colluders)
+        shared_sides: Dict[Any, int] = {}
+        return {
+            pid: GeneStrategy(
+                self,
+                colluders=colluders,
+                group_a=group_a,
+                group_b=group_b,
+                shared_sides=shared_sides,
+            )
+            for pid in members
+        }
+
+
+def victim_split(n: int, members: Set[int]) -> Tuple[Set[int], Set[int]]:
+    """Split the non-colluding players into the two equivocation sides.
+
+    The same formula the best-response driver uses for its partition
+    coordinate, so a scheduled partition always aligns with the sides
+    the compiled strategy feeds.
+    """
+    victims = sorted(set(range(n)) - members)
+    half = len(victims) // 2
+    return set(victims[:half]), set(victims[half:])
+
+
+class GeneStrategy(Strategy):
+    """The compiled form of a :class:`StrategyGene`.
+
+    Wraps an :class:`EquivocateStrategy` for the split-broadcast
+    mechanics (shared-sides blackboard, alternative routing) and
+    layers the omission knobs on top.  With every knob at its default
+    this degrades to byte-identical honest behaviour.
+    """
+
+    name = "pi_gene"
+
+    def __init__(
+        self,
+        gene: StrategyGene,
+        colluders: Set[int],
+        group_a: Set[int],
+        group_b: Set[int],
+        shared_sides: Dict[Any, int],
+    ) -> None:
+        self.gene = gene
+        self.colluders = set(colluders)
+        self._equivocator = EquivocateStrategy(
+            group_a=set(group_a),
+            group_b=set(group_b),
+            colluders=set(colluders),
+            shared_sides=shared_sides,
+        )
+
+    # -- signing behaviour ------------------------------------------------
+    def double_votes(self) -> bool:
+        # Any positive equivocation probability means "willing to sign
+        # conflicting values" — this is the accountability checkers'
+        # ground truth, so it must not depend on whether a particular
+        # round's hash draw fired.
+        return self.gene.forks
+
+    # -- participation ----------------------------------------------------
+    def participates(self, replica: Any, phase: str) -> bool:
+        if phase_class(phase) in self.gene.silence:
+            return False
+        return True
+
+    # -- proposal content -------------------------------------------------
+    def select_transactions(self, replica: Any, candidates: List[Any]) -> List[Any]:
+        if not self.gene.censor:
+            return list(candidates)
+        censored = set(self.gene.censor)
+        return [tx for tx in candidates if getattr(tx, "tx_id", None) not in censored]
+
+    # -- broadcast shaping ------------------------------------------------
+    def plan_broadcast(
+        self,
+        replica: Any,
+        primary: Any,
+        alternative_factory: Any,
+        recipients: List[int],
+    ) -> Dict[int, Any]:
+        round_number = getattr(primary, "round_number", None)
+        pid = getattr(replica, "player_id", None)
+        if self.gene.timing_skew > 0.0 and (
+            _unit("gene/skew", pid, round_number, type(primary).__name__)
+            < self.gene.timing_skew
+        ):
+            # The message arrives after the phase no longer cares:
+            # indistinguishable, round-locally, from not sending it.
+            return {recipient: None for recipient in recipients}
+        if self.gene.forks and (
+            _unit("gene/equivocate", round_number) < self.gene.equivocate
+        ):
+            # The whole coalition hashes the same key, so it splits (or
+            # doesn't) coherently in each round.
+            plan = self._equivocator.plan_broadcast(
+                replica, primary, alternative_factory, recipients
+            )
+        else:
+            plan = {recipient: primary for recipient in recipients}
+        if self.gene.withhold > 0.0:
+            victims = sorted(r for r in plan if r not in self.colluders)
+            starve = victims[len(victims) - self._withheld_count(len(victims)):]
+            for recipient in starve:
+                plan[recipient] = None
+        return plan
+
+    def _withheld_count(self, victim_count: int) -> int:
+        return min(victim_count, math.ceil(self.gene.withhold * victim_count))
+
+    # -- accountability ---------------------------------------------------
+    def report_fraud(self, replica: Any, guilty: Set[int]) -> bool:
+        if self.gene.suppress_fraud or self.gene.forks:
+            return False
+        return True
+
+    def filter_evidence(self, replica: Any, statements: List[Any]) -> List[Any]:
+        if not (self.gene.suppress_fraud or self.gene.forks):
+            return list(statements)
+        shielded = self.colluders | {getattr(replica, "player_id", None)}
+        return [s for s in statements if getattr(s, "signer", None) not in shielded]
+
+
+def draw_gene(rng: Any, profile: str, rational_count: int) -> StrategyGene:
+    """One random *active* gene for the fuzzer's end-of-stream axis.
+
+    Draw order is part of the fuzzer's determinism contract: never
+    reorder or remove draws, only append.
+    """
+    equivocate = rng.choice([0.0, 0.5, 1.0]) if rng.random() < 0.5 else 0.0
+    silence: Tuple[str, ...] = ()
+    if rng.random() < 0.4:
+        silence = (rng.choice(["vote", "commit", "reveal"]),)
+    withhold = rng.choice([0.0, 0.25, 0.5]) if rng.random() < 0.4 else 0.0
+    timing_skew = rng.choice([0.0, 0.25, 0.5]) if rng.random() < 0.3 else 0.0
+    coalition = rng.randint(1, max(1, rational_count))
+    suppress_fraud = rng.random() < 0.25
+    gene = StrategyGene(
+        equivocate=equivocate,
+        silence=silence,
+        withhold=withhold,
+        timing_skew=timing_skew,
+        coalition=coalition,
+        suppress_fraud=suppress_fraud,
+    )
+    if not gene.active:
+        # Every drawn gene deviates somewhere; default to the mildest
+        # deviation rather than wasting the axis on honest play.
+        gene = replace(gene, timing_skew=0.25)
+    return gene
